@@ -1,0 +1,105 @@
+"""Fig. 4 — preconditioner shoot-out on the Maxwell system.
+
+The paper: on a 50M-complex-unknown chamber discretization, GMRES
+preconditioned by ``M^-1_ORAS`` (eq. 6) converges, while the Additive
+Schwarz Method (overlaps 1 and 2) and GAMG "cannot solve the linear
+system ... as rapidly" — their residual curves flatline.
+
+Reproduction: the same four preconditioners on the laptop-scale chamber;
+the assertion is the ranking — ORAS reaches 1e-8 well inside the
+iteration budget, ASM/GAMG do not get anywhere near.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import Options, solve
+from repro.precond.amg import SmoothedAggregationAMG
+from repro.precond.schwarz import SchwarzPreconditioner
+from repro.problems.maxwell import (antenna_ring_rhs, decompose_maxwell,
+                                    maxwell_chamber)
+
+from common import downsample_history, format_table, write_result
+
+N = 8
+OMEGA = 10.0
+MAX_IT = 200
+TOL = 1e-8
+
+
+@pytest.fixture(scope="module")
+def fig4_data():
+    prob = maxwell_chamber(N, omega=OMEGA)
+    b = antenna_ring_rhs(prob, n_antennas=1)[:, 0]
+    opts = Options(tol=TOL, variant="right", max_it=MAX_IT, gmres_restart=50)
+
+    runs = {}
+    # ORAS with impedance transmission conditions
+    dec = decompose_maxwell(prob, 8, overlap=2, impedance=True)
+    m = SchwarzPreconditioner(prob.a, variant="oras",
+                              decomposition=dec.decomposition,
+                              local_matrices=dec.local_matrices)
+    runs["ORAS (eq. 6)"] = solve(prob.a, b, m, options=opts)
+    # plain ASM, two overlaps
+    for ov in (1, 2):
+        m = SchwarzPreconditioner(prob.a, nparts=8, overlap=ov,
+                                  variant="asm", points=prob.dof_points())
+        runs[f"ASM overlap {ov}"] = solve(prob.a, b, m, options=opts)
+    # GAMG (nodal AMG cannot handle the curl-curl near-nullspace)
+    m = SmoothedAggregationAMG(prob.a)
+    runs["GAMG"] = solve(prob.a, b, m, options=opts)
+    return {"prob": prob, "b": b, "runs": runs,
+            "oras_dec": dec}
+
+
+def test_fig4_only_oras_converges(benchmark, fig4_data):
+    prob, b = fig4_data["prob"], fig4_data["b"]
+    dec = fig4_data["oras_dec"]
+    m = SchwarzPreconditioner(prob.a, variant="oras",
+                              decomposition=dec.decomposition,
+                              local_matrices=dec.local_matrices)
+    benchmark(m.apply, b.reshape(-1, 1))  # kernel: one ORAS application
+
+    runs = fig4_data["runs"]
+    oras = runs["ORAS (eq. 6)"]
+    assert oras.converged.all()
+    assert oras.iterations < MAX_IT
+    for label in ("ASM overlap 1", "ASM overlap 2", "GAMG"):
+        other = runs[label]
+        # the standard preconditioners stall: not converged, or far slower
+        assert (not other.converged.all()) or \
+            other.iterations > 2 * oras.iterations, label
+
+    rows = []
+    for label, res in runs.items():
+        final = float(res.residual_norms[0])
+        rows.append((label, res.iterations,
+                     "yes" if res.converged.all() else "no", f"{final:.2e}"))
+    table = format_table(
+        ["preconditioner", "iterations", "converged", "final rel. residual"],
+        rows,
+        title=f"Fig. 4 reproduction - Maxwell chamber ({prob.n} complex "
+              f"unknowns, omega={OMEGA}), GMRES(50), tol={TOL:g}, "
+              f"cap {MAX_IT} iterations",
+        note="Paper: only the optimized Schwarz preconditioner (impedance "
+             "transmission conditions)\nsolves the indefinite complex "
+             "system; ASM and nodal AMG flatline.")
+    write_result("fig4_maxwell_preconditioners", table)
+
+
+def test_fig4_convergence_curves(benchmark, fig4_data):
+    prob = fig4_data["prob"]
+    benchmark(lambda: prob.a @ fig4_data["b"].reshape(-1, 1))
+
+    lines = ["Fig. 4 analogue - GMRES convergence histories "
+             "(iteration, relative residual)", ""]
+    for label, res in fig4_data["runs"].items():
+        lines.append(label)
+        for it, v in downsample_history(res.history.matrix()[:, 0], 15):
+            lines.append(f"  {it:>5} {v:.3e}")
+        lines.append("")
+    write_result("fig4_convergence", "\n".join(lines))

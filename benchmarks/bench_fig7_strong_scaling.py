@@ -1,0 +1,152 @@
+"""Fig. 7 — strong scaling of the Maxwell/ORAS solver.
+
+The paper: one 119M-complex-unknown chamber system solved on 512 -> 4096
+subdomains (one per MPI process); speedup 6.9 out of the ideal 8, with the
+iteration count creeping from 54 to 94 (one-level optimized transmission
+conditions) so the solve fraction grows from 17% to 30%.
+
+Reproduction: a fixed laptop-scale chamber decomposed into 2 -> 16
+subdomains.  Wall-clock on one core cannot scale, so the per-process cost
+is *modeled* from the ledger events (flops by kernel, reductions, halo
+traffic) on a Curie-like machine — the algorithmic inputs (iteration
+growth, per-subdomain factor sizes, communication counts) are all
+measured, only the rates come from the machine model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Options, install_ledger, solve
+from repro.perfmodel.estimate import modeled_time
+from repro.perfmodel.machine import CURIE
+from repro.precond.schwarz import SchwarzPreconditioner
+from repro.problems.maxwell import (antenna_ring_rhs, decompose_maxwell,
+                                    maxwell_chamber)
+
+from common import format_table, write_result
+
+N = 12
+OMEGA = 8.0
+SUBDOMAIN_COUNTS = (2, 4, 8, 16)
+PROJECTED_RANKS = (512, 1024, 2048, 4096)
+
+
+@pytest.fixture(scope="module")
+def fig7_data():
+    prob = maxwell_chamber(N, omega=OMEGA)
+    b = antenna_ring_rhs(prob, n_antennas=1)[:, 0]
+    opts = Options(tol=1e-8, variant="right", max_it=600, gmres_restart=50)
+
+    rows = []
+    last_solve_events = None
+    for nparts in SUBDOMAIN_COUNTS:
+        with install_ledger() as led_setup:
+            dec = decompose_maxwell(prob, nparts, overlap=2, impedance=True)
+            m = SchwarzPreconditioner(prob.a, variant="oras",
+                                      decomposition=dec.decomposition,
+                                      local_matrices=dec.local_matrices)
+        with install_ledger() as led_solve:
+            res = solve(prob.a, b, m, options=opts)
+        assert res.converged.all(), f"ORAS failed at N={nparts}"
+        t_setup = modeled_time(led_setup, nparts, machine=CURIE)
+        t_solve = modeled_time(led_solve, nparts, machine=CURIE)
+        rows.append({"nparts": nparts, "iterations": res.iterations,
+                     "setup": t_setup.total, "solve": t_solve.total,
+                     "setup_events": led_setup, "comm": t_solve.communication})
+        last_solve_events = led_solve
+    return {"prob": prob, "rows": rows, "b": b,
+            "solve_events": last_solve_events}
+
+
+def test_fig7_strong_scaling(benchmark, fig7_data):
+    prob, rows = fig7_data["prob"], fig7_data["rows"]
+    benchmark(lambda: prob.a @ fig7_data["b"].reshape(-1, 1))
+
+    first, last = rows[0], rows[-1]
+    totals = [r["setup"] + r["solve"] for r in rows]
+    speedups = [totals[0] / t for t in totals]
+
+    # the paper's claims, in shape:
+    # 1. clear strong scaling across the measured sweep (the paper's 6.9/8
+    #    was setup- i.e. factorization-dominated at 119M unknowns; at
+    #    laptop scale the iteration-bound solve phase dominates, so the
+    #    attainable speedup is bounded by the 52 -> ~95 iteration growth)
+    assert speedups[-1] > 2.0, speedups
+    # 2. monotone improvement over the sweep
+    assert all(b <= a * 1.1 for a, b in zip(totals, totals[1:])), totals
+    # 3. iteration count grows mildly with the number of subdomains
+    #    (one-level method, optimized interface conditions)
+    assert last["iterations"] >= first["iterations"]
+    assert last["iterations"] <= 3 * first["iterations"]
+    # 4. per-subdomain factorization work drops superlinearly: total setup
+    #    time divided by N falls much faster than 1/N
+    assert last["setup"] < first["setup"] / 4
+
+    out_rows = []
+    for r, sp_ in zip(rows, speedups):
+        tot = r["setup"] + r["solve"]
+        out_rows.append((r["nparts"], round(r["setup"], 3),
+                         round(r["solve"], 3), r["iterations"],
+                         f"{100 * r['solve'] / tot:.0f}%",
+                         round(sp_, 2)))
+    table = format_table(
+        ["N", "setup (s)", "solve (s)", "iterations", "solve frac", "speedup"],
+        out_rows,
+        title=f"Fig. 7 reproduction - Maxwell strong scaling "
+              f"({prob.n} complex unknowns, modeled on a Curie-like "
+              f"machine from measured ledger events)",
+        note="Paper (512->4096 subdomains): speedup 6.9/8, iterations "
+             "54->94, solve fraction 17%->30%.\nTimes are modeled "
+             "per-process costs; iteration counts, factor sizes, and "
+             "communication events are measured.")
+    write_result("fig7_strong_scaling", table)
+
+
+def test_fig7_rank_projection(benchmark, fig7_data):
+    """Paper-scale projection: the measured solve workload on 512-4096 ranks.
+
+    Takes the measured event stream of the largest decomposition, scales
+    the volume terms (flops, message bytes) to the paper's 119M-unknown
+    problem — they are proportional to n, while the *number* of reductions
+    per iteration is size-independent — and asks the machine model what
+    that costs at the paper's process counts.  This isolates the
+    communication (log P reductions) versus computation (1/P) trade-off
+    of section III-D.
+    """
+    events = fig7_data["solve_events"]
+    benchmark(modeled_time, events, 512)
+
+    scale = 119e6 / fig7_data["prob"].n      # paper n / our n
+    scaled = events.snapshot()
+    for k in scaled.flops:
+        scaled.flops[k] *= scale
+    scaled.p2p_bytes = int(scaled.p2p_bytes * scale)
+    scaled.p2p_messages = int(scaled.p2p_messages * scale ** (2 / 3))
+    scaled.reduction_bytes = scaled.reduction_bytes  # payloads stay small
+
+    proj = {p: modeled_time(scaled, p, machine=CURIE)
+            for p in PROJECTED_RANKS}
+    t512 = proj[512].total
+    speedup = {p: t512 / proj[p].total for p in PROJECTED_RANKS}
+    # compute shrinks 8x; reductions grow with log P, so the overall
+    # speedup lands between 4x and the ideal 8x (the paper measured 3.9x
+    # for its solve phase, iteration growth included)
+    assert 2.0 < speedup[4096] <= 8.0, speedup
+
+    rows = [(p, f"{proj[p].total:.3f}",
+             f"{proj[p].compute:.3f}",
+             f"{proj[p].communication:.3f}",
+             round(speedup[p], 2)) for p in PROJECTED_RANKS]
+    table = format_table(
+        ["ranks", "total (s)", "compute (s)", "comm (s)", "speedup"],
+        rows,
+        title="Fig. 7 projection - measured solve events scaled to the "
+              "paper's 119M unknowns,\nmodeled at the paper's process "
+              "counts (fixed workload)",
+        note="Communication grows as log2(P) tree reductions while compute "
+             "shrinks as 1/P — the\nscalability envelope the paper's "
+             "iterative-method engineering (fewer reductions per cycle)\n"
+             "is designed to extend.")
+    write_result("fig7_rank_projection", table)

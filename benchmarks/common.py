@@ -1,0 +1,60 @@
+"""Shared infrastructure for the figure/table reproduction benchmarks.
+
+Every ``bench_*`` module reproduces one figure or table of the paper.  The
+pattern: a session-cached ``run_*`` experiment producing the figure's data,
+a ``test_*`` entry that asserts the *shape* claims (who wins, by roughly
+what factor) and writes a human-readable table under
+``benchmarks/results/``, plus a pytest-benchmark measurement of the
+experiment's core kernel so ``pytest benchmarks/ --benchmark-only``
+produces timing rows.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a reproduction table and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text)
+    print(f"\n===== {name} =====\n{text}")
+    return path
+
+
+def format_table(headers: list[str], rows: list[tuple], *,
+                 title: str = "", note: str = "") -> str:
+    """Fixed-width table renderer."""
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    widths = [max(len(str(h)), *(len(_fmt(r[i])) for r in rows))
+              for i, h in enumerate(headers)]
+    out.write("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)) + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for r in rows:
+        out.write("  ".join(_fmt(v).rjust(w) for v, w in zip(r, widths)) + "\n")
+    if note:
+        out.write("\n" + note + "\n")
+    return out.getvalue()
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0 or 1e-3 <= abs(v) < 1e5:
+            return f"{v:.3f}".rstrip("0").rstrip(".") if abs(v) >= 1 else f"{v:.4f}"
+        return f"{v:.3e}"
+    return str(v)
+
+
+def downsample_history(rel: np.ndarray, n_points: int = 25) -> list[tuple]:
+    """(iteration, relative residual) pairs, downsampled for the results file."""
+    n = len(rel)
+    idx = np.unique(np.linspace(0, n - 1, min(n_points, n)).astype(int))
+    return [(int(i), float(rel[i])) for i in idx]

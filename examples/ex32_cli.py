@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""The artifact description's modified PETSc ex32, as a Python CLI.
+
+Accepts the same HPDDM-style options as the paper's artifact (appendix E):
+
+    python examples/ex32_cli.py -hpddm_recycle_same_system \\
+        -ksp_rtol 1.0e-6 -hpddm_recycle 10 -hpddm_krylov_method gcrodr \\
+        -hpddm_gmres_restart 30 -da_grid_x 64 -da_grid_y 64
+
+and prints the same two blocks of output — the reference method first,
+then the HPDDM method — with columns (system index, iterations, solve
+seconds).  Foreign PETSc-style options that matter here: ``-ksp_rtol``,
+``-da_grid_x/-da_grid_y`` (grid size), ``-pc_type`` (``ssor``, ``jacobi``,
+``gamg`` or ``none``).
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro import Options, Solver, parse_hpddm_args
+from repro.precond.amg import SmoothedAggregationAMG
+from repro.precond.simple import JacobiPreconditioner, SSORPreconditioner
+from repro.problems.poisson import poisson_2d
+
+
+def _petsc_value(args, name, default):
+    if name in args:
+        return args[args.index(name) + 1]
+    return default
+
+
+def run_sequence(prob, m, options, label):
+    print(f"{label}")
+    s = Solver(m, options=options)
+    tot_it, tot_t = 0, 0.0
+    for i, b in enumerate(prob.rhs_sequence(), 1):
+        t0 = time.perf_counter()
+        res = s.solve(prob.a, b)
+        dt = time.perf_counter() - t0
+        print(f"{i:>3} {res.iterations:>8} {dt:>12.6f}")
+        tot_it += res.iterations
+        tot_t += dt
+    print("-" * 24)
+    print(f"{tot_it:>12} {tot_t:>12.6f}\n")
+
+
+def main(argv: list[str]) -> None:
+    hpddm = parse_hpddm_args(argv)
+    rtol = float(_petsc_value(argv, "-ksp_rtol", "1.0e-6"))
+    nx = int(_petsc_value(argv, "-da_grid_x", "64"))
+    ny = int(_petsc_value(argv, "-da_grid_y", str(nx)))
+    pc = _petsc_value(argv, "-pc_type", "ssor")
+
+    prob = poisson_2d(nx, ny)
+    if pc == "ssor":
+        m = SSORPreconditioner(prob.a)
+    elif pc == "jacobi":
+        m = JacobiPreconditioner(prob.a)
+    elif pc == "gamg":
+        m = SmoothedAggregationAMG(prob.a)
+    elif pc == "none":
+        m = None
+    else:
+        raise SystemExit(f"unsupported -pc_type {pc}")
+
+    reference = Options(krylov_method="gmres",
+                        gmres_restart=hpddm.gmres_restart,
+                        tol=rtol, variant=hpddm.variant, max_it=50000)
+    method = hpddm.replace(tol=rtol, max_it=50000)
+
+    print(f"2-D Poisson, {prob.n} unknowns, 4 RHSs, pc_type={pc}\n")
+    run_sequence(prob, m, reference, "Reference (GMRES)")
+    run_sequence(prob, m, method, f"HPDDM-style ({method.krylov_method.upper()})")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

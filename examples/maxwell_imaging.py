@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Microwave brain-imaging solver: block methods + recycling (paper §V).
+
+The EMTensor-style scenario at laptop scale: a cylindrical imaging chamber
+filled with dissipative matching solution (optionally with an immersed
+plastic cylinder), excited by a ring of antennas — one right-hand side per
+transmitting antenna.  The system is complex-symmetric and indefinite, so
+standard preconditioners fail; the optimized Schwarz preconditioner
+``M^-1_ORAS`` (eq. 6) with per-subdomain sparse direct solves and
+impedance transmission conditions carries the day (Fig. 4), and block
+methods then amortize each preconditioner application over all antennas
+(Figs. 6 and 8).
+
+Alternatives compared (a subset of the paper's Fig. 8 list):
+
+1. consecutive GMRES(50), one antenna at a time      (the reference)
+2. consecutive GCRO-DR(50,10), recycling between antennas
+3. one pseudo-block GMRES(50) over all antennas
+4. one Block GMRES(50) over all antennas
+5. Block GCRO-DR(50,10) on sub-blocks of antennas    (the paper's winner)
+
+Run:  python examples/maxwell_imaging.py [mesh_n] [antennas]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro import Options, Solver, solve
+from repro.precond.schwarz import SchwarzPreconditioner
+from repro.problems.maxwell import (antenna_ring_rhs, decompose_maxwell,
+                                    maxwell_chamber)
+
+
+def run(n: int = 8, n_antennas: int = 16) -> None:
+    print("assembling the imaging chamber (plastic cylinder immersed) ...")
+    t0 = time.perf_counter()
+    prob = maxwell_chamber(n, omega=8.0, inclusion_radius=0.15)
+    b = antenna_ring_rhs(prob, n_antennas=n_antennas)
+    print(f"  {prob.n} complex unknowns, {n_antennas} antenna RHSs "
+          f"({time.perf_counter() - t0:.1f}s)")
+
+    print("building the ORAS preconditioner (8 subdomains, overlap 2) ...")
+    t0 = time.perf_counter()
+    dec = decompose_maxwell(prob, 8, overlap=2, impedance=True)
+    m = SchwarzPreconditioner(prob.a, variant="oras",
+                              decomposition=dec.decomposition,
+                              local_matrices=dec.local_matrices)
+    t_setup = time.perf_counter() - t0
+    print(f"  setup: {t_setup:.1f}s (factors once, reused by every solve)\n")
+
+    base = Options(krylov_method="gmres", gmres_restart=50, tol=1e-8,
+                   variant="right", max_it=4000)
+    rows = []
+
+    # 1) consecutive GMRES — the reference
+    t0 = time.perf_counter()
+    tot_it = 0
+    for j in range(n_antennas):
+        res = solve(prob.a, b[:, j], m, options=base)
+        assert res.converged.all()
+        tot_it += res.iterations
+    t_ref = time.perf_counter() - t0
+    rows.append(("consecutive GMRES(50)", 1, t_ref, tot_it, 1.0))
+
+    # 2) consecutive GCRO-DR with recycling
+    t0 = time.perf_counter()
+    s = Solver(m, options=base.replace(krylov_method="gcrodr", recycle=10,
+                                       recycle_same_system=True))
+    tot_it = 0
+    for j in range(n_antennas):
+        res = s.solve(prob.a, b[:, j])
+        assert res.converged.all()
+        tot_it += res.iterations
+    dt = time.perf_counter() - t0
+    rows.append(("consecutive GCRO-DR(50,10)", 1, dt, tot_it, t_ref / dt))
+
+    # 3) pseudo-block GMRES
+    t0 = time.perf_counter()
+    res = solve(prob.a, b, m, options=base)
+    assert res.converged.all()
+    dt = time.perf_counter() - t0
+    rows.append(("pseudo-BGMRES(50)", n_antennas, dt, res.iterations,
+                 t_ref / dt))
+
+    # 4) Block GMRES
+    t0 = time.perf_counter()
+    res = solve(prob.a, b, m, options=base.replace(krylov_method="bgmres"))
+    assert res.converged.all()
+    dt = time.perf_counter() - t0
+    rows.append(("BGMRES(50)", n_antennas, dt, res.iterations, t_ref / dt))
+
+    # 5) Block GCRO-DR on sub-blocks (the paper's best alternative 7)
+    sub = max(n_antennas // 2, 1)
+    t0 = time.perf_counter()
+    s = Solver(m, options=base.replace(krylov_method="bgcrodr", recycle=10,
+                                       recycle_same_system=True))
+    tot_it = 0
+    for j in range(0, n_antennas, sub):
+        res = s.solve(prob.a, b[:, j: j + sub])
+        assert res.converged.all()
+        tot_it += res.iterations
+    dt = time.perf_counter() - t0
+    rows.append((f"BGCRO-DR(50,10), blocks of {sub}", sub, dt, tot_it,
+                 t_ref / dt))
+
+    print(f"{'alternative':>30} {'p':>3} {'solve(s)':>9} {'iters':>6} "
+          f"{'speedup':>8}")
+    for name, p, dt, its, sp_ in rows:
+        print(f"{name:>30} {p:>3} {dt:>9.1f} {its:>6} {sp_:>7.1f}x")
+    print("\nBlock iterations advance all RHS columns at once, so their "
+          "counts are not per-RHS comparable;\nwhat matters is wall clock — "
+          "exactly the paper's Fig. 8 conclusion.")
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    p = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+    run(n, p)

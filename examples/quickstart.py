@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: solve a sequence of linear systems with and without recycling.
+
+Mirrors the artifact-description sanity check of the paper (appendix E):
+solve four successive right-hand sides over one Poisson operator, first
+with plain restarted GMRES, then with GCRO-DR reusing the recycled Krylov
+subspace from solve to solve, and print the same three-column table
+(system index, iterations, solve seconds).
+
+Run:  python examples/quickstart.py [grid_size]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro import Options, Solver, solve
+from repro.problems.poisson import poisson_2d
+
+
+def run(nx: int = 64) -> None:
+    prob = poisson_2d(nx)
+    rhss = prob.rhs_sequence()
+    print(f"2-D Poisson, {prob.n} unknowns, {len(rhss)} successive RHSs\n")
+
+    header = f"{'system':>6} {'iterations':>11} {'time (s)':>10}"
+
+    # ---- baseline: restarted GMRES, no recycling ------------------------
+    print("GMRES(30)")
+    print(header)
+    gmres_opts = Options(krylov_method="gmres", gmres_restart=30,
+                         tol=1e-8, max_it=20000)
+    total_it, total_t = 0, 0.0
+    for i, b in enumerate(rhss, 1):
+        t0 = time.perf_counter()
+        res = solve(prob.a, b, options=gmres_opts)
+        dt = time.perf_counter() - t0
+        print(f"{i:>6} {res.iterations:>11} {dt:>10.4f}")
+        total_it += res.iterations
+        total_t += dt
+    print("-" * 29)
+    print(f"{'sum':>6} {total_it:>11} {total_t:>10.4f}\n")
+
+    # ---- GCRO-DR(30, 10) with the same-system fast path ------------------
+    print("GCRO-DR(30,10), recycling between solves")
+    print(header)
+    s = Solver(options=Options(krylov_method="gcrodr", gmres_restart=30,
+                               recycle=10, tol=1e-8, max_it=20000,
+                               recycle_same_system=True))
+    total_it, total_t = 0, 0.0
+    for i, b in enumerate(rhss, 1):
+        t0 = time.perf_counter()
+        res = s.solve(prob.a, b)
+        dt = time.perf_counter() - t0
+        print(f"{i:>6} {res.iterations:>11} {dt:>10.4f}")
+        total_it += res.iterations
+        total_t += dt
+    print("-" * 29)
+    print(f"{'sum':>6} {total_it:>11} {total_t:>10.4f}")
+    print("\nRecycling pays from the second solve on: the harmonic-Ritz "
+          "subspace deflates the slow modes that make GMRES(30) restart-bound.")
+
+
+if __name__ == "__main__":
+    run(int(sys.argv[1]) if len(sys.argv) > 1 else 64)

@@ -1,0 +1,146 @@
+"""Public solve API: one entry point, HPDDM-style method dispatch.
+
+Two levels of convenience:
+
+* :func:`solve` — one-shot functional interface;
+* :class:`Solver` — stateful interface for *sequences* of linear systems
+  ``A_i X_i = B_i`` (paper eq. 1): it owns the recycled subspace between
+  solves, auto-detects unchanged operators (the non-variable fast path of
+  section III-B) and re-orthonormalizes the recycled space when the
+  operator does change.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .krylov.base import SolveResult, as_operator
+from .krylov.bcg import bcg
+from .krylov.bgmres import bgmres
+from .krylov.cg import cg
+from .krylov.gcrodr import gcrodr
+from .krylov.gmres import gmres
+from .krylov.gmresdr import gmresdr
+from .krylov.lgmres import lgmres
+from .krylov.pgcrodr import PseudoBlockRecycle, pgcrodr
+from .krylov.recycling import RecycledSubspace
+from .util.misc import as_block
+from .util.options import Options
+
+__all__ = ["solve", "Solver"]
+
+
+def solve(a, b, m=None, *, options: Options | None = None,
+          x0: np.ndarray | None = None,
+          recycle: "RecycledSubspace | PseudoBlockRecycle | None" = None,
+          same_system: bool | None = None) -> SolveResult:
+    """Solve ``A X = B`` with the method selected by ``options.krylov_method``.
+
+    Parameters mirror the individual solver functions; ``recycle`` and
+    ``same_system`` are only consumed by the recycling methods.
+
+    >>> import scipy.sparse as sp, numpy as np
+    >>> A = sp.diags([2.0] * 100)
+    >>> b = np.ones(100)
+    >>> res = solve(A, b, options=Options(krylov_method="gmres"))
+    >>> bool(res.converged.all())
+    True
+    """
+    options = options or Options()
+    method = options.krylov_method
+    if method in ("gmres", "richardson", "none"):
+        if method in ("richardson", "none"):
+            raise NotImplementedError(
+                f"method {method!r} is accepted for option parity but has no "
+                "standalone driver; use gmres")
+        return gmres(a, b, m, options=options, x0=x0)
+    if method == "bgmres":
+        return bgmres(a, b, m, options=options, x0=x0)
+    if method == "cg":
+        return cg(a, b, m, options=options, x0=x0)
+    if method == "bcg":
+        return bcg(a, b, m, options=options, x0=x0)
+    if method == "gmresdr":
+        return gmresdr(a, b, m, options=options, x0=x0)
+    if method == "lgmres":
+        return lgmres(a, b, m, options=options, x0=x0)
+    if method == "gcrodr":
+        # pseudo-block fusion for multiple RHSs: independent recurrences
+        # with batched kernels (paper section V-B1); "bgcrodr" selects the
+        # true block method instead.
+        p = as_block(np.asarray(b)).shape[1]
+        if p > 1:
+            rec = recycle if isinstance(recycle, PseudoBlockRecycle) else None
+            return pgcrodr(a, b, m, options=options, x0=x0,
+                           recycle=rec, same_system=same_system)
+        rec = recycle if isinstance(recycle, RecycledSubspace) else None
+        return gcrodr(a, b, m, options=options, x0=x0,
+                      recycle=rec, same_system=same_system)
+    if method == "bgcrodr":
+        rec = recycle if isinstance(recycle, RecycledSubspace) else None
+        return gcrodr(a, b, m, options=options, x0=x0,
+                      recycle=rec, same_system=same_system)
+    raise ValueError(f"unknown krylov_method {method!r}")
+
+
+class Solver:
+    """Stateful solver for sequences of linear systems.
+
+    Keeps the recycled Krylov subspace alive between calls (the paper's
+    "persistent memory ... allocated using a singleton class") and resolves
+    the same-system fast path automatically:
+
+    * same operator object (or equal ``tag``) as the previous call — skip
+      the ``qr(A U_k)`` re-orthonormalization and freeze the recycled space
+      at restarts (``-hpddm_recycle_same_system``);
+    * different operator — run the full variable-sequence update.
+
+    Example
+    -------
+    >>> import numpy as np, scipy.sparse as sp
+    >>> A = sp.diags([-np.ones(99), 2*np.ones(100), -np.ones(99)], [-1,0,1]).tocsr()
+    >>> s = Solver(options=Options(krylov_method="gcrodr", gmres_restart=20,
+    ...                            recycle=5, tol=1e-8))
+    >>> r1 = s.solve(A, np.ones(100))
+    >>> r2 = s.solve(A, np.arange(100.0))   # reuses the recycled subspace
+    >>> bool(r2.converged.all()) and r2.info["same_system"]
+    True
+    """
+
+    def __init__(self, m=None, *, options: Options | None = None):
+        self.options = options or Options()
+        self.preconditioner = m
+        self.recycled: RecycledSubspace | PseudoBlockRecycle | None = None
+        self._last_tag: Any = None
+        self.results: list[SolveResult] = []
+
+    def solve(self, a, b, *, x0: np.ndarray | None = None,
+              m=None, same_system: bool | None = None) -> SolveResult:
+        """Solve the next system in the sequence."""
+        op = as_operator(a)
+        if same_system is None:
+            if self.options.recycle_same_system:
+                same_system = True
+            elif self._last_tag is not None:
+                same_system = op.tag == self._last_tag
+        prec = m if m is not None else self.preconditioner
+        res = solve(op, b, prec, options=self.options, x0=x0,
+                    recycle=self.recycled, same_system=same_system)
+        self._last_tag = op.tag
+        new_space = res.info.get("recycle")
+        if new_space is not None:
+            self.recycled = new_space
+        self.results.append(res)
+        return res
+
+    def reset(self) -> None:
+        """Drop the recycled subspace and history."""
+        self.recycled = None
+        self._last_tag = None
+        self.results.clear()
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(r.iterations for r in self.results)

@@ -1,0 +1,129 @@
+"""SparseLU facade: factor once, solve many (the PARDISO role).
+
+Combines a fill-reducing ordering, a numeric LU and level-scheduled
+blocked triangular solves into the interface the Schwarz preconditioner
+consumes: ``factor = SparseLU(B_i); factor.solve(R_i x)`` where the solve
+handles an ``n x p`` block in one forward elimination + backward
+substitution pass ("it can be done in a single forward elimination and
+backward substitution as long as the vectors are stored contiguously" —
+paper section V-A).
+
+Two factorization engines:
+
+* ``"gp"`` — the from-scratch Gilbert-Peierls LU of
+  :mod:`repro.direct.numeric` (reference, pure Python);
+* ``"scipy"`` — SuperLU via :func:`scipy.sparse.linalg.splu`, used for
+  large subdomains; its factors are *extracted* and all solves still run
+  through our own level-scheduled kernels, so multi-RHS measurements
+  benchmark this library's code, not SuperLU's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..util import ledger
+from ..util.ledger import Kernel
+from ..util.misc import as_block
+from .numeric import gilbert_peierls_lu
+from .ordering import compute_ordering
+from .triangular import TriangularFactor
+
+__all__ = ["SparseLU"]
+
+
+class SparseLU:
+    """Sparse LU factorization with blocked multi-RHS solves.
+
+    Parameters
+    ----------
+    a:
+        square sparse matrix (real or complex).
+    engine:
+        ``"gp"`` (from-scratch Gilbert-Peierls), ``"scipy"`` (SuperLU
+        numeric phase), or ``"auto"`` (GP below 1500 unknowns).
+    ordering:
+        fill-reducing ordering for the GP engine (``"amd"``, ``"rcm"``,
+        ``"natural"``); SuperLU applies its own COLAMD.
+    """
+
+    def __init__(self, a: sp.spmatrix, *, engine: str = "auto",
+                 ordering: str = "amd"):
+        a = sp.csc_matrix(a)
+        if a.shape[0] != a.shape[1]:
+            raise ValueError("SparseLU requires a square matrix")
+        self.n = a.shape[0]
+        self.dtype = np.promote_types(a.dtype, np.float64)
+        if engine == "auto":
+            engine = "gp" if self.n <= 1500 else "scipy"
+        self.engine = engine
+        led = ledger.current()
+
+        if engine == "gp":
+            perm_c = compute_ordering(a, ordering)
+            factors = gilbert_peierls_lu(a, perm_c=perm_c)
+            l_mat, u_mat = factors.l, factors.u
+            self.perm_r = factors.perm_r       # factored row i = A row perm_r[i]
+            self.perm_c = factors.perm_c
+            self._scipy_convention = False
+        elif engine == "scipy":
+            with led.timer("superlu_factor"):
+                lu = spla.splu(a.astype(self.dtype))
+            l_mat = sp.csr_matrix(lu.L)
+            u_mat = sp.csr_matrix(lu.U)
+            self.perm_r = lu.perm_r            # Pr[perm_r[i], i] = 1
+            self.perm_c = lu.perm_c
+            # standard LU flop estimate: 2 sum_j nnz(L(:,j)) * nnz(U(j,:))
+            l_cols = np.diff(sp.csc_matrix(lu.L).indptr)
+            u_rows = np.diff(u_mat.indptr)
+            led.flop(Kernel.FACTORIZATION,
+                     2.0 * float(np.dot(l_cols.astype(float), u_rows)))
+            led.event("lu_factorization")
+            self._scipy_convention = True
+        else:
+            raise ValueError(f"unknown engine {engine!r}")
+
+        self.factor_nnz = int(l_mat.nnz + u_mat.nnz)
+        self._ltri = TriangularFactor(l_mat, lower=True, unit_diagonal=True)
+        self._utri = TriangularFactor(u_mat, lower=False)
+
+    # ------------------------------------------------------------------
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A X = B`` for an ``n x p`` block in one sweep pair."""
+        squeeze = np.asarray(b).ndim == 1
+        b = as_block(b)
+        if b.shape[0] != self.n:
+            raise ValueError(f"rhs has {b.shape[0]} rows, expected {self.n}")
+        if self._scipy_convention:
+            # SuperLU: Pr A Pc = L U with Pr[perm_r[i], i] = 1,
+            # Pc[i, perm_c[i]] = 1  =>  x = Pc U^{-1} L^{-1} Pr b
+            bp = np.empty_like(b, dtype=np.promote_types(self.dtype, b.dtype))
+            bp[self.perm_r] = b
+        else:
+            # Gilbert-Peierls: L U = A[perm_r][:, perm_c]
+            bp = b[self.perm_r]
+        y = self._ltri.solve(bp)
+        z = self._utri.solve(y)
+        if self._scipy_convention:
+            x = z[self.perm_c]
+        else:
+            x = np.empty_like(z)
+            x[self.perm_c] = z
+        ledger.current().event("direct_solve", b.shape[1])
+        return x[:, 0] if squeeze else x
+
+    def as_preconditioner(self):
+        """Wrap as a :class:`repro.Preconditioner` (exact local solver)."""
+        from ..krylov.base import FunctionPreconditioner
+        return FunctionPreconditioner(self.solve)
+
+    @property
+    def n_levels(self) -> tuple[int, int]:
+        """(L levels, U levels) of the solve schedules."""
+        return self._ltri.n_levels, self._utri.n_levels
+
+    def __repr__(self) -> str:
+        return (f"SparseLU(n={self.n}, engine={self.engine!r}, "
+                f"factor_nnz={self.factor_nnz})")

@@ -1,0 +1,5 @@
+"""Distributed linear algebra over the simulated MPI layer."""
+
+from .distcsr import DistributedCSR
+
+__all__ = ["DistributedCSR"]

@@ -1,0 +1,307 @@
+"""Foundation of the Krylov layer: operators, preconditioners, results.
+
+Design notes
+------------
+Every solver works on ``n x p`` *blocks* of vectors so that single-RHS,
+pseudo-block (fused) and true block methods share one code path.  The two
+kernels that touch distributed data are:
+
+* ``Operator.matmat`` — sparse matrix x dense block (SpMM), whose MPI
+  pattern is the halo exchange of SpMV with ``p``-times-larger buffers
+  (paper section V-B2);
+* inner products, which are global reductions, accounted by the
+  orthogonalization kernels.
+
+Preconditioning sides are normalized here once and for all:
+
+* ``left``  — the solver runs on ``z -> M(A z)`` and the *preconditioned*
+  residual; mirrors PETSc's left preconditioning.
+* ``right`` and ``flexible`` — implemented uniformly via the flexible
+  machinery (store ``Z = M(V)``); for a constant preconditioner the two are
+  algebraically identical, and the flexible storage is what HPDDM uses when
+  ``-hpddm_variant flexible`` is requested (cf. the paper's closing note:
+  FGCRO-DR "leads to less operations at a cost of additional storage").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..util import ledger
+from ..util.ledger import Kernel
+from ..util.misc import as_block, column_norms, result_dtype
+
+__all__ = [
+    "Operator",
+    "as_operator",
+    "Preconditioner",
+    "IdentityPreconditioner",
+    "FunctionPreconditioner",
+    "as_preconditioner",
+    "ConvergenceHistory",
+    "SolveResult",
+    "eps_all_below",
+]
+
+
+class Operator:
+    """Minimal linear-operator protocol: ``shape``, ``dtype``, ``matmat``."""
+
+    def __init__(self, shape: tuple[int, int], dtype, matmat: Callable[[np.ndarray], np.ndarray],
+                 *, nnz: int | None = None, tag: Any = None,
+                 diag: np.ndarray | None = None):
+        self.shape = shape
+        self.dtype = np.dtype(dtype)
+        self._matmat = matmat
+        self.nnz = nnz
+        self._diag = diag
+        # identity tag used for same-system detection in sequences
+        self.tag = tag if tag is not None else id(matmat)
+
+    def diagonal(self) -> np.ndarray:
+        """Operator diagonal (needed by Jacobi/Chebyshev smoothers)."""
+        if self._diag is None:
+            raise ValueError("operator diagonal unavailable; wrap an explicit "
+                             "matrix or pass diag= to Operator")
+        return self._diag
+
+    def matmat(self, x: np.ndarray) -> np.ndarray:
+        x = as_block(x)
+        led = ledger.current()
+        if self.nnz is not None:
+            kern = Kernel.SPMV if x.shape[1] == 1 else Kernel.SPMM
+            led.flop(kern, 2.0 * self.nnz * x.shape[1])
+        led.event("operator_apply", x.shape[1])
+        y = self._matmat(x)
+        return as_block(np.asarray(y))
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        return self.matmat(x)
+
+
+def as_operator(a: Any) -> Operator:
+    """Wrap a scipy sparse matrix, ndarray, Operator-like or callable."""
+    if isinstance(a, Operator):
+        return a
+    if sp.issparse(a):
+        a = a.tocsr()
+        return Operator(a.shape, a.dtype, lambda x, _a=a: _a @ x, nnz=a.nnz,
+                        tag=id(a), diag=np.asarray(a.diagonal()))
+    if isinstance(a, np.ndarray):
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ValueError("dense operator must be a square 2-D array")
+        return Operator(a.shape, a.dtype, lambda x, _a=a: _a @ x,
+                        nnz=a.shape[0] * a.shape[1], tag=id(a),
+                        diag=np.diagonal(a).copy())
+    # duck-typed: objects exposing shape/dtype/matmat (e.g. DistributedCSR)
+    if hasattr(a, "matmat") and hasattr(a, "shape"):
+        dtype = getattr(a, "dtype", np.float64)
+        nnz = getattr(a, "nnz", None)
+        diag = None
+        if hasattr(a, "diagonal"):
+            try:
+                diag = np.asarray(a.diagonal())
+            except (TypeError, ValueError):
+                diag = None
+        return Operator(tuple(a.shape), dtype, a.matmat, nnz=nnz, tag=id(a),
+                        diag=diag)
+    if callable(a):
+        raise ValueError("bare callables need an explicit Operator(shape, dtype, fn) wrapper")
+    raise TypeError(f"cannot interpret {type(a).__name__} as a linear operator")
+
+
+class Preconditioner:
+    """Preconditioner protocol: ``apply(X) -> M^{-1} X`` on n x p blocks.
+
+    ``is_variable`` declares a nonlinear/nondeterministic preconditioner
+    (e.g. a Krylov smoother inside multigrid, section III-C of the paper);
+    solvers reject ``variant != 'flexible'`` for variable preconditioners,
+    exactly like HPDDM, because left/right preconditioned recurrences are
+    invalid when ``M`` changes between applications.
+    """
+
+    is_variable: bool = False
+
+    def apply(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        ledger.current().event("precond_apply", as_block(x).shape[1])
+        return self.apply(x)
+
+
+class IdentityPreconditioner(Preconditioner):
+    """No-op preconditioner (returns its input, no copy)."""
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        return as_block(x)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:  # skip event logging
+        return as_block(x)
+
+
+class FunctionPreconditioner(Preconditioner):
+    """Adapter for plain callables (the paper's PETSc-callback use case)."""
+
+    def __init__(self, fn: Callable[[np.ndarray], np.ndarray], *, is_variable: bool = False):
+        self._fn = fn
+        self.is_variable = bool(is_variable)
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        return as_block(np.asarray(self._fn(as_block(x))))
+
+
+def as_preconditioner(m: Any) -> Preconditioner:
+    if m is None:
+        return IdentityPreconditioner()
+    if isinstance(m, Preconditioner):
+        return m
+    if sp.issparse(m) or isinstance(m, np.ndarray):
+        op = as_operator(m)
+        return FunctionPreconditioner(op.matmat)
+    if callable(m):
+        return FunctionPreconditioner(m)
+    raise TypeError(f"cannot interpret {type(m).__name__} as a preconditioner")
+
+
+@dataclass
+class ConvergenceHistory:
+    """Per-iteration, per-column relative residual norms."""
+
+    rhs_norms: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    records: list[np.ndarray] = field(default_factory=list)
+
+    def append(self, abs_norms: np.ndarray) -> None:
+        safe = np.where(self.rhs_norms > 0, self.rhs_norms, 1.0)
+        self.records.append(np.asarray(abs_norms, dtype=float) / safe)
+
+    def matrix(self) -> np.ndarray:
+        """(niter+1) x p array of relative residual norms."""
+        if not self.records:
+            return np.zeros((0, len(self.rhs_norms)))
+        return np.vstack(self.records)
+
+    def iterations_to_tol(self, tol: float) -> np.ndarray:
+        """First iteration index at which each column dipped below tol."""
+        mat = self.matrix()
+        out = np.full(mat.shape[1], -1, dtype=int)
+        for j in range(mat.shape[1]):
+            hit = np.nonzero(mat[:, j] <= tol)[0]
+            if hit.size:
+                out[j] = int(hit[0])
+        return out
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a linear solve.
+
+    Attributes
+    ----------
+    x:
+        solution block, same shape as the input RHS.
+    converged:
+        per-column convergence flags.
+    iterations:
+        total inner iterations performed (block iterations for block
+        methods — each advances all ``p`` columns at once).
+    history:
+        :class:`ConvergenceHistory` (entry 0 is the initial residual).
+    method:
+        resolved method name ("gmres", "bgcrodr", ...).
+    restarts:
+        number of restart cycles.
+    breakdown:
+        True when a rank-revealing QR detected (and deflated past) a block
+        breakdown.
+    info:
+        free-form diagnostics (recycle dimension actually used, etc.).
+    """
+
+    x: np.ndarray
+    converged: np.ndarray
+    iterations: int
+    history: ConvergenceHistory
+    method: str
+    restarts: int = 0
+    breakdown: bool = False
+    info: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def residual_norms(self) -> np.ndarray:
+        mat = self.history.matrix()
+        return mat[-1] if mat.size else np.zeros(0)
+
+    def iterations_per_rhs(self, tol: float) -> np.ndarray:
+        return self.history.iterations_to_tol(tol)
+
+    def __repr__(self) -> str:  # concise, informative
+        ok = bool(np.all(self.converged))
+        return (f"SolveResult(method={self.method!r}, iterations={self.iterations}, "
+                f"restarts={self.restarts}, converged={ok})")
+
+    def report(self, *, width: int = 60, height: int = 12) -> str:
+        """Text summary with an ASCII convergence chart (log residual)."""
+        mat = self.history.matrix()
+        lines = [repr(self)]
+        if mat.size == 0:
+            return lines[0]
+        worst = mat.max(axis=1)
+        worst = np.where(worst > 0, worst, np.nan)
+        finite = worst[np.isfinite(worst)]
+        if finite.size >= 2 and finite.max() > 0:
+            logs = np.log10(np.where(np.isfinite(worst), worst, np.nan))
+            lo = np.nanmin(logs)
+            hi = np.nanmax(logs)
+            span = max(hi - lo, 1e-12)
+            idx = np.linspace(0, len(logs) - 1, min(width, len(logs))).astype(int)
+            cols = logs[idx]
+            grid = [[" "] * len(cols) for _ in range(height)]
+            for c, v in enumerate(cols):
+                if not np.isfinite(v):
+                    continue
+                rrow = int(round((hi - v) / span * (height - 1)))
+                grid[rrow][c] = "*"
+            lines.append(f"max rel. residual, 1e{hi:+.0f} (top) .. "
+                         f"1e{lo:+.0f} (bottom), {len(logs) - 1} iterations")
+            lines.extend("|" + "".join(row) for row in grid)
+        return "\n".join(lines)
+
+
+def eps_all_below(abs_norms: np.ndarray, targets: np.ndarray) -> bool:
+    """The paper's ``EPS`` function (Fig. 1, lines 40-45): true residual
+    column norms all below their per-column absolute targets."""
+    return bool(np.all(abs_norms <= targets))
+
+
+def initial_state(a: Operator, b: np.ndarray, x0: np.ndarray | None
+                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Common setup: promote dtypes, shape X0, compute R0 = B - A X0."""
+    b = as_block(b)
+    dtype = result_dtype(a.dtype, b.dtype)
+    b = b.astype(dtype, copy=False)
+    n, p = b.shape
+    if a.shape[1] != n:
+        raise ValueError(f"operator/rhs shape mismatch: {a.shape} vs {b.shape}")
+    if x0 is None:
+        x = np.zeros((n, p), dtype=dtype)
+        r = b.copy()
+    else:
+        x = as_block(x0).astype(dtype, copy=True)
+        if x.shape != b.shape:
+            raise ValueError(f"x0 shape {x.shape} does not match rhs {b.shape}")
+        r = b - a.matmat(x)
+    return x, b, r
+
+
+def residual_targets(b: np.ndarray, tol: float) -> np.ndarray:
+    """Absolute per-column convergence targets: tol * ||b_j|| (zero-safe)."""
+    nb = column_norms(b)
+    return tol * np.where(nb > 0, nb, 1.0)

@@ -1,0 +1,114 @@
+"""Block Conjugate Gradient (O'Leary 1980) — the paper's reference [32].
+
+"One of the first iterative methods to be adapted to handle multiple
+right-hand sides at once was the Conjugate Gradient method."  Block CG
+iterates all ``p`` columns in one shared Krylov space: per iteration one
+SpMM, two small ``p x p`` system solves, and two global reductions — the
+SPD counterpart of Block GMRES, used here for multi-load elasticity.
+
+Breakdown handling: the ``p x p`` pencils ``P^H A P`` and ``R^H Z`` become
+singular when search directions or residuals grow dependent; following the
+library's block-GMRES policy (no block-size reduction, cf. paper §V-C) a
+rank-revealing factorization detects the defect and the affected
+directions are deflated out of the update by a pseudo-inverse step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util import ledger
+from ..util.ledger import Kernel
+from ..util.misc import as_block, column_norms
+from ..util.options import Options
+from .base import (ConvergenceHistory, IdentityPreconditioner, SolveResult,
+                   as_operator, as_preconditioner, initial_state,
+                   residual_targets)
+
+__all__ = ["bcg"]
+
+
+def _gram(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    led = ledger.current()
+    led.reduction(nbytes=x.shape[1] * y.shape[1] * x.itemsize)
+    led.flop(Kernel.BLAS3, 2.0 * x.shape[0] * x.shape[1] * y.shape[1])
+    return x.conj().T @ y
+
+
+def _solve_small(g: np.ndarray, rhs: np.ndarray, *, rtol: float = 1e-12
+                 ) -> tuple[np.ndarray, bool]:
+    """Solve the small p x p system, falling back to a pseudo-inverse when
+    the pencil is (near-)singular; returns (solution, breakdown_flag)."""
+    try:
+        cond_bound = np.linalg.cond(g)
+    except np.linalg.LinAlgError:  # pragma: no cover - defensive
+        cond_bound = np.inf
+    if not np.isfinite(cond_bound) or cond_bound > 1.0 / rtol:
+        return np.linalg.pinv(g, rcond=rtol) @ rhs, True
+    return np.linalg.solve(g, rhs), False
+
+
+def bcg(a, b, m=None, *, options: Options | None = None,
+        x0: np.ndarray | None = None) -> SolveResult:
+    """Solve the SPD system ``A X = B`` with (preconditioned) Block CG.
+
+    One block iteration advances every column; with well-separated RHSs
+    the iteration count drops by up to a factor ``p`` against single CG
+    (the shared Krylov space "sees" p directions per SpMM).
+    """
+    options = options or Options(krylov_method="bcg")
+    a = as_operator(a)
+    prec = as_preconditioner(m)
+    if prec.is_variable:
+        raise ValueError("Block CG requires a fixed (linear) preconditioner")
+    identity_m = isinstance(prec, IdentityPreconditioner)
+    b_in = as_block(b)
+    squeeze = np.asarray(b).ndim == 1
+
+    x, b2, r = initial_state(a, b_in, x0)
+    n, p = b2.shape
+    targets = residual_targets(b2, options.tol)
+    led = ledger.current()
+
+    history = ConvergenceHistory(rhs_norms=column_norms(b2))
+    rn = column_norms(r)
+    history.append(rn)
+    converged = rn <= targets
+    breakdown_seen = False
+
+    z = r if identity_m else np.asarray(prec(r))
+    d = z.copy()
+    rz = _gram(r, z)                      # p x p
+
+    it = 0
+    while not np.all(converged) and it < options.max_it:
+        ad = a.matmat(d)
+        dad = _gram(d, ad)
+        alpha, bad1 = _solve_small(dad, rz)
+        x = x + d @ alpha
+        r = r - ad @ alpha
+        led.flop(Kernel.BLAS3, 4.0 * n * p * p)
+        rn = column_norms(r)
+        led.reduction(nbytes=p * 8)
+        history.append(rn)
+        converged = rn <= targets
+        it += 1
+        if np.all(converged):
+            breakdown_seen |= bad1
+            break
+        z = r if identity_m else np.asarray(prec(r))
+        rz_new = _gram(r, z)
+        beta, bad2 = _solve_small(rz, rz_new)
+        d = z + d @ beta
+        led.flop(Kernel.BLAS3, 2.0 * n * p * p)
+        rz = rz_new
+        breakdown_seen |= bad1 or bad2
+        if breakdown_seen and np.all(rn <= np.maximum(targets, 1e-14)):
+            break
+
+    result_x = x[:, 0] if squeeze else x
+    return SolveResult(
+        x=result_x, converged=converged, iterations=it,
+        history=history, method="bcg", breakdown=breakdown_seen,
+        info={"block_size": p},
+    )

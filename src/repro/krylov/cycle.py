@@ -1,0 +1,160 @@
+"""Shared block-Arnoldi cycle used by Block GMRES and (Block) GCRO-DR.
+
+One cycle performs up to ``max_steps`` block-Arnoldi iterations with the
+(possibly preconditioned) operator, optionally projecting every candidate
+block against a fixed orthonormal basis ``C_k`` first — that projection is
+the ``(I - C_k C_k^H) A`` operator of the paper's Fig. 1 line 26, and its
+coefficients accumulate into ``E_k = C_k^H A Z_{m-k}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..la.blockqr import BlockHessenbergQR
+from ..la.orthogonalization import project_out, qr_factorization
+from ..util import ledger
+from ..util.misc import column_norms, default_rng
+from .base import ConvergenceHistory
+
+__all__ = ["CycleState", "block_arnoldi_cycle", "complete_block"]
+
+
+def complete_block(q: np.ndarray, rank: int, *, against: list[np.ndarray] | None = None,
+                   rng_seed: int = 7) -> np.ndarray:
+    """Fill the trailing ``p - rank`` (zero) columns of ``q`` with random
+    directions orthonormalized against its leading columns and ``against``.
+
+    Used when the initial residual block of a cycle is rank deficient (some
+    RHS columns converged or became colinear): the deficient directions carry
+    a zero row in ``S``, so they do not perturb the least-squares solution —
+    they merely keep the block Arnoldi basis full width.
+    """
+    n, p = q.shape
+    if rank >= p:
+        return q
+    rng = default_rng(rng_seed)
+    fill = rng.standard_normal((n, p - rank))
+    if np.iscomplexobj(q):
+        fill = fill + 1j * rng.standard_normal((n, p - rank))
+    fill = fill.astype(q.dtype)
+    stack = [q[:, :rank]] + (against or [])
+    basis = np.column_stack(stack) if stack and sum(b.shape[1] for b in stack) else None
+    if basis is not None and basis.shape[1]:
+        # the pieces are individually orthonormal but need not be mutually
+        # orthogonal; re-orthonormalize before projecting
+        basis, _ = np.linalg.qr(basis)
+        fill, _ = project_out(basis, fill, scheme="imgs")
+    qf, _, rk = qr_factorization(fill, "cholqr_rr")
+    out = np.array(q, copy=True)
+    out[:, rank:rank + rk] = qf[:, :rk]
+    # in the (vanishingly unlikely) event the random fill was itself
+    # deficient, leave the remaining columns zero: harmless for the LS solve.
+    return out
+
+
+@dataclass
+class CycleState:
+    """Everything a caller needs after one block-Arnoldi cycle."""
+
+    v_blocks: list[np.ndarray]            # j+1 orthonormal blocks (n x p)
+    z_blocks: list[np.ndarray]            # j preconditioned blocks (n x p)
+    hqr: BlockHessenbergQR
+    e_cols: list[np.ndarray] = field(default_factory=list)  # C^H A Z columns
+    steps: int = 0
+    breakdown: bool = False
+    converged_early: bool = False
+
+    def v_stack(self, count: int | None = None) -> np.ndarray:
+        blocks = self.v_blocks if count is None else self.v_blocks[:count]
+        return np.concatenate(blocks, axis=1)
+
+    def z_stack(self, count: int | None = None) -> np.ndarray:
+        blocks = self.z_blocks if count is None else self.z_blocks[:count]
+        return np.concatenate(blocks, axis=1)
+
+    def ek_matrix(self) -> np.ndarray:
+        """E_k = C_k^H A Z (k x jp)."""
+        if not self.e_cols:
+            return np.zeros((0, 0))
+        return np.concatenate(self.e_cols, axis=1)
+
+
+def block_arnoldi_cycle(op_apply, inner_m, v1: np.ndarray, s1: np.ndarray, *,
+                        max_steps: int,
+                        ck: np.ndarray | None = None,
+                        ortho: str = "cgs",
+                        qr_scheme: str = "cholqr",
+                        deflation_tol: float = 1e-12,
+                        targets: np.ndarray | None = None,
+                        history: ConvergenceHistory | None = None,
+                        identity_m: bool = False,
+                        iteration_budget: int | None = None,
+                        ) -> CycleState:
+    """Run up to ``max_steps`` block-Arnoldi iterations.
+
+    Parameters
+    ----------
+    op_apply:
+        the (left-preconditioned if applicable) operator, block in/block out.
+    inner_m:
+        preconditioner applied inside the loop (identity for left/none).
+    v1, s1:
+        QR factors of the starting residual block (paper lines 11/24).
+    ck:
+        optional fixed orthonormal basis to project out (GCRO-DR's ``C_k``);
+        projection coefficients are recorded as ``E_k`` columns.
+    targets:
+        absolute per-column residual targets; the cycle stops early once all
+        columns are below target (checked via the Hessenberg-QR tail, which
+        equals the true residual norm in exact arithmetic).
+    history:
+        optional convergence history to append per-iteration tail norms to.
+    iteration_budget:
+        remaining global iteration allowance (max_it enforcement).
+    """
+    dtype = v1.dtype
+    p = v1.shape[1]
+    hqr = BlockHessenbergQR(max_steps, p, np.asarray(s1, dtype=dtype), dtype=dtype)
+    state = CycleState(v_blocks=[v1], z_blocks=[], hqr=hqr)
+    led = ledger.current()
+
+    steps = max_steps
+    if iteration_budget is not None:
+        steps = min(steps, max(iteration_budget, 0))
+
+    for j in range(steps):
+        vj = state.v_blocks[j]
+        zj = vj if identity_m else np.asarray(inner_m(vj)).astype(dtype, copy=False)
+        state.z_blocks.append(zj)
+        w = op_apply(zj)
+        if ck is not None and ck.shape[1]:
+            w, e_col = project_out(ck, w, scheme="cgs")
+            state.e_cols.append(e_col)
+        scale = float(np.max(column_norms(w), initial=0.0))
+        basis = np.concatenate(state.v_blocks, axis=1)
+        w2, h = project_out(basis, w, scheme=ortho)
+        if qr_scheme in ("cholqr", "cholqr_rr"):
+            q, s, rank = qr_factorization(w2, qr_scheme, tol=deflation_tol,
+                                          scale=scale)
+        else:
+            q, s, rank = qr_factorization(w2, qr_scheme, tol=deflation_tol)
+        h_col = np.concatenate([h, s], axis=0)
+        res = hqr.add_column(h_col)
+        state.steps = j + 1
+        if history is not None:
+            history.append(res)
+        led.event("arnoldi_step")
+        if rank < p:
+            # block breakdown: terminate the cycle; the caller restarts from
+            # the freshly computed residual (rank-revealing QR at restart
+            # deflates for real, cf. paper section V-C).
+            state.breakdown = True
+            break
+        state.v_blocks.append(q)
+        if targets is not None and np.all(res <= targets):
+            state.converged_early = True
+            break
+    return state

@@ -1,0 +1,396 @@
+"""(Block, Flexible) GCRO-DR — Krylov subspace recycling, paper Fig. 1.
+
+GCRO-DR(m, k) maintains a k-dimensional recycled subspace ``(U_k, C_k)``
+with ``A U_k = C_k`` and ``C_k^H C_k = I`` across restarts *and across
+linear solves in a sequence* ``A_i X_i = B_i``.  Each restart cycle runs
+``m - k`` steps of (block) GMRES with the projected operator
+``(I - C_k C_k^H) A`` and augments the minimization space with ``U_k``.
+
+Implemented here, following the paper:
+
+* **block extension**: everything operates on ``n x p`` blocks, so
+  BGCRO-DR falls out of the same code (the recycled space is k *vectors*
+  regardless of ``p``);
+* **flexible variant** (FGCRO-DR): basis blocks ``Z_j = M(V_j)`` are
+  stored, and ``U_k`` is assembled from ``Z`` so it lives in solution
+  space — valid under variable preconditioning (Carvalho et al.);
+* **eq. (2)**: the harmonic-Ritz left-hand side of the first cycle is
+  built from the incrementally computed QR of the block Hessenberg;
+* **strategies A / B**: eq. (3a) (one extra fused reduction) or eq. (3b)
+  (communication-free) right-hand side for the generalized eigenproblem;
+* **same-system fast path**: for sequences with an unchanged operator,
+  skip the re-orthonormalization of ``U_k`` (lines 3-7) and the recycle
+  update at restarts (lines 31-38).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+
+from ..la.orthogonalization import cholqr, project_out, qr_factorization
+from ..util import ledger
+from ..util.ledger import Kernel
+from ..util.misc import as_block, column_norms
+from ..util.options import Options
+from .base import (ConvergenceHistory, IdentityPreconditioner, SolveResult,
+                   as_operator, initial_state, residual_targets)
+from .cycle import block_arnoldi_cycle, complete_block
+from .deflation import generalized_ritz_vectors, harmonic_ritz_vectors
+from .gmres import setup_preconditioning
+from .recycling import RecycledSubspace
+
+__all__ = ["gcrodr"]
+
+
+def _solve_right_triangular(u: np.ndarray, r: np.ndarray) -> np.ndarray:
+    """Compute ``U R^{-1}`` via a triangular solve (no explicit inverse)."""
+    return sla.solve_triangular(r.T, u.T, lower=True).T
+
+
+def _harvest(small: np.ndarray, pk: np.ndarray, *, rtol: float = 1e-12
+             ) -> tuple[np.ndarray, np.ndarray]:
+    """Stable version of paper lines 18-20 / 35-37 in the small space.
+
+    Given the small matrix (``\\bar H_m`` or ``G_m``) and the selected
+    eigenvector basis ``P_k``, compute the column-pivoted QR of
+    ``small @ P_k`` and trim numerically dependent directions, so the new
+    recycled pair stays well conditioned even when the Ritz vectors are
+    nearly degenerate.
+
+    Returns ``(qf, s)`` such that the caller forms ``C_new = [C V] @ qf``
+    and ``U_new = [U~ Z] @ s`` with ``small @ s = qf`` exactly (to rounding).
+    """
+    prod = small @ pk
+    qf, rf, piv = sla.qr(prod, mode="economic", pivoting=True)
+    ledger.current().flop(Kernel.QR, 4.0 * prod.shape[0] * prod.shape[1] ** 2)
+    d = np.abs(np.diagonal(rf))
+    if d.size == 0 or d[0] == 0.0:
+        return prod[:, :0], pk[:, :0]
+    rank = int(np.count_nonzero(d > rtol * d[0]))
+    qf = qf[:, :rank]
+    s = _project_solve(pk[:, piv[:rank]], rf[:rank, :rank])
+    return qf, s
+
+
+def _gram_reduce(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """x^H y counted as one fused global reduction."""
+    led = ledger.current()
+    led.flop(Kernel.BLAS3, 2.0 * x.shape[0] * x.shape[1] * y.shape[1])
+    led.reduction(nbytes=x.shape[1] * y.shape[1] * x.itemsize)
+    return x.conj().T @ y
+
+
+def gcrodr(a, b, m=None, *, options: Options | None = None,
+           x0: np.ndarray | None = None,
+           recycle: RecycledSubspace | None = None,
+           same_system: bool | None = None) -> SolveResult:
+    """Solve ``A X = B`` with (Block/Flexible) GCRO-DR(m, k).
+
+    Parameters
+    ----------
+    a, b, m, x0:
+        as in :func:`repro.krylov.gmres.gmres`.
+    options:
+        must carry ``recycle = k`` with ``0 < k < gmres_restart``.
+    recycle:
+        a :class:`RecycledSubspace` from a previous solve in the sequence
+        (mutated-by-replacement: the updated space is returned in
+        ``result.info["recycle"]``).
+    same_system:
+        overrides the same-operator detection.  Defaults to
+        ``options.recycle_same_system or recycle.matches_operator(A)``.
+    """
+    options = options or Options(krylov_method="gcrodr", recycle=10)
+    k = options.recycle
+    if k <= 0:
+        raise ValueError("GCRO-DR requires options.recycle (k) > 0")
+    a = as_operator(a)
+    op_apply, inner_m, left_m = setup_preconditioning(a, m, options)
+    b_in = as_block(b)
+    squeeze = np.asarray(b).ndim == 1
+
+    x, b2, r = initial_state(a, b_in, x0)
+    if left_m is not None:
+        b2 = np.asarray(left_m(b2))
+        r = np.asarray(left_m(r)) if x0 is not None else b2.copy()
+    n, p = b2.shape
+    dtype = x.dtype
+    targets = residual_targets(b2, options.tol)
+    identity_m = isinstance(inner_m, IdentityPreconditioner)
+    led = ledger.current()
+
+    history = ConvergenceHistory(rhs_norms=column_norms(b2))
+    rn = column_norms(r)
+    history.append(rn)
+    converged = rn <= targets
+
+    m_restart = options.gmres_restart
+    inner_steps = max(m_restart - k, 1)
+    total_it = 0
+    cycles = 0
+    breakdown_seen = False
+
+    u_k: np.ndarray | None = None
+    c_k: np.ndarray | None = None
+
+    def _explicit_residual() -> np.ndarray:
+        if left_m is None:
+            return b2 - op_apply(x)
+        return np.asarray(left_m(b_in.astype(dtype) - a.matmat(x)))
+
+    # ------------------------------------------------------------------
+    # Lines 1-21: initialization — either reuse a recycled space or run a
+    # plain (block) GMRES cycle and harvest harmonic Ritz vectors from it.
+    # ------------------------------------------------------------------
+    if recycle is not None and recycle.k > 0:
+        u_k = np.asarray(recycle.u, dtype=dtype).copy()
+        c_k = np.asarray(recycle.c, dtype=dtype).copy()
+        if same_system is None:
+            same_system = options.recycle_same_system or recycle.matches_operator(a.tag)
+        if not same_system:
+            # lines 3-7: re-orthonormalize against the *new* operator.
+            # Householder QR (TSQR-equivalent communication: one reduction)
+            # with column pivoting: the recycled space may be arbitrarily
+            # ill-conditioned under the new operator, and CholQR would square
+            # that conditioning.
+            au = op_apply(u_k)
+            q, rfac, piv = sla.qr(au, mode="economic", pivoting=True)
+            led.flop(Kernel.QR, 4.0 * n * u_k.shape[1] ** 2)
+            led.reduction(nbytes=u_k.shape[1] ** 2 * au.itemsize)
+            d = np.abs(np.diagonal(rfac))
+            rank = int(np.count_nonzero(d > options.deflation_tol * max(d[0], 1e-300))) \
+                if d.size else 0
+            if rank == 0:
+                u_k = np.zeros((n, 0), dtype=dtype)
+                c_k = np.zeros((n, 0), dtype=dtype)
+            else:
+                c_k = np.ascontiguousarray(q[:, :rank])
+                u_k = _project_solve(u_k[:, piv[:rank]], rfac[:rank, :rank])
+        if u_k.shape[1]:
+            # lines 8-9: project the initial residual onto the recycled space
+            chr0 = _gram_reduce(c_k, r)
+            x += u_k @ chr0
+            r = r - c_k @ chr0
+            led.flop(Kernel.BLAS3, 4.0 * n * u_k.shape[1] * p)
+            rn = column_norms(r)
+            led.reduction(nbytes=p * 8)
+            history.append(rn)
+            converged = rn <= targets
+    else:
+        # First system of a sequence: Fig. 1's "A_i != A_{i-1}" guard is
+        # vacuously true (there is no predecessor), so the recycle space is
+        # always refined at restarts, whatever the same-system option says.
+        same_system = False
+
+    if u_k is None or u_k.shape[1] == 0:
+        # lines 11-20: one full (block) GMRES cycle, then harmonic Ritz
+        v1, s1, rank = qr_factorization(r, "cholqr_rr", tol=options.deflation_tol)
+        if rank == 0:
+            converged[:] = True
+        else:
+            if rank < p:
+                breakdown_seen = True
+                v1 = complete_block(v1, rank)
+            state = block_arnoldi_cycle(
+                op_apply, inner_m, v1, s1, max_steps=m_restart,
+                ortho=options.orthogonalization, qr_scheme=options.qr,
+                deflation_tol=options.deflation_tol, targets=targets,
+                history=history, identity_m=identity_m,
+                iteration_budget=options.max_it - total_it)
+            total_it += state.steps
+            cycles += 1
+            breakdown_seen |= state.breakdown
+            if state.steps:
+                y = state.hqr.solve()
+                z = state.z_stack(state.steps)
+                x += z @ y
+                led.flop(Kernel.BLAS3, 2.0 * n * z.shape[1] * p)
+                r = _explicit_residual()
+                rn = column_norms(r)
+                led.reduction(nbytes=p * 8)
+                converged = rn <= targets
+                history.records[-1] = rn / np.where(history.rhs_norms > 0,
+                                                    history.rhs_norms, 1.0)
+                # lines 16-20: harvest the recycled space
+                hbar = state.hqr.hessenberg()
+                pk = harmonic_ritz_vectors(
+                    hbar, state.hqr.triangular(), state.hqr.last_subdiagonal_block(),
+                    p, k, dtype=dtype, target=options.recycle_target)
+                if pk.shape[1]:
+                    qf, s = _harvest(hbar, pk)
+                    vstack = state.v_stack()
+                    c_k = vstack @ qf
+                    u_k = z @ s
+                    led.flop(Kernel.BLAS3, 4.0 * n * vstack.shape[1] * qf.shape[1])
+
+    # ------------------------------------------------------------------
+    # Lines 22-39: main GCRO-DR loop.
+    # ------------------------------------------------------------------
+    while not np.all(converged) and total_it < options.max_it:
+        if u_k is None or u_k.shape[1] == 0:
+            # recycled space vanished: degrade gracefully to plain GMRES cycles
+            v1, s1, rank = qr_factorization(r, "cholqr_rr", tol=options.deflation_tol)
+            if rank == 0:
+                break
+            if rank < p:
+                breakdown_seen = True
+                v1 = complete_block(v1, rank)
+            state = block_arnoldi_cycle(
+                op_apply, inner_m, v1, s1, max_steps=m_restart,
+                ortho=options.orthogonalization, qr_scheme=options.qr,
+                deflation_tol=options.deflation_tol, targets=targets,
+                history=history, identity_m=identity_m,
+                iteration_budget=options.max_it - total_it)
+            total_it += state.steps
+            cycles += 1
+            if state.steps == 0:
+                break
+            y = state.hqr.solve()
+            x += state.z_stack(state.steps) @ y
+            r = _explicit_residual()
+        else:
+            k_cur = u_k.shape[1]
+            # line 24: distributed QR of the residual block
+            v1, s1, rank = qr_factorization(r, "cholqr_rr", tol=options.deflation_tol)
+            if rank == 0:
+                break
+            if rank < p:
+                breakdown_seen = True
+                v1 = complete_block(v1, rank, against=[c_k])
+            chr_prev = _gram_reduce(c_k, r)          # C_k^H R_{j-1} (line 28, 1st term)
+            # line 26: m-k steps of (block) GMRES on (I - C C^H) A
+            state = block_arnoldi_cycle(
+                op_apply, inner_m, v1, s1, max_steps=inner_steps, ck=c_k,
+                ortho=options.orthogonalization, qr_scheme=options.qr,
+                deflation_tol=options.deflation_tol, targets=targets,
+                history=history, identity_m=identity_m,
+                iteration_budget=options.max_it - total_it)
+            total_it += state.steps
+            cycles += 1
+            breakdown_seen |= state.breakdown
+            if state.steps == 0:
+                break
+            # lines 27-29: solve the projected LS problem and update X
+            y = state.hqr.solve()                    # (jp x p)
+            ek = state.ek_matrix()                   # (k x jp)
+            yk = chr_prev - ek @ y                   # line 28 (one small gemm + the
+            led.reduction(nbytes=k_cur * p * 8)      #  reduction noted in §III-D)
+            z = state.z_stack(state.steps)
+            x += u_k @ yk + z @ y
+            led.flop(Kernel.BLAS3, 2.0 * n * (k_cur + z.shape[1]) * p)
+            # line 30: explicit residual
+            r = _explicit_residual()
+
+            # lines 31-38: update the recycled space (skipped for
+            # non-variable sequences — the same-system optimization)
+            if not same_system:
+                led.event("recycle_update")
+                dk = column_norms(u_k)               # line 32
+                led.reduction(nbytes=k_cur * 8)
+                dk_safe = np.where(dk > 0, dk, 1.0)
+                u_tilde = u_k / dk_safe
+                hbar = state.hqr.hessenberg()        # ((j+1)p x jp)
+                jp = hbar.shape[1]
+                gm = np.zeros((k_cur + hbar.shape[0], k_cur + jp), dtype=dtype)
+                gm[:k_cur, :k_cur] = np.diag((1.0 / dk_safe).astype(dtype))
+                gm[:k_cur, k_cur:] = ek
+                gm[k_cur:, k_cur:] = hbar
+                w = _strategy_w(options.recycle_strategy, gm, c_k,
+                                state.v_stack(), u_tilde, k_cur, jp)
+                pk = generalized_ritz_vectors(gm, w, k, dtype=dtype,
+                                              target=options.recycle_target)
+                if pk.shape[1]:
+                    qf, s = _harvest(gm, pk)         # line 35 (pivoted, trimmed)
+                    cv = np.concatenate([c_k, state.v_stack()], axis=1)
+                    uz = np.concatenate([u_tilde, z], axis=1)
+                    c_k = cv @ qf                    # line 36
+                    u_k = uz @ s                     # line 37
+                    led.flop(Kernel.BLAS3, 4.0 * n * cv.shape[1] * qf.shape[1])
+
+        rn = column_norms(r)
+        led.reduction(nbytes=p * 8)
+        converged = rn <= targets
+        history.records[-1] = rn / np.where(history.rhs_norms > 0,
+                                            history.rhs_norms, 1.0)
+        if options.check_invariants and u_k is not None and u_k.shape[1]:
+            check_recycle_invariants(op_apply, u_k, c_k)
+
+    # package the (possibly updated) recycled space for the next solve
+    out_recycle = None
+    if u_k is not None and u_k.shape[1]:
+        out_recycle = RecycledSubspace(u_k, c_k, op_tag=a.tag,
+                                       meta={"variant": options.variant,
+                                             "k": u_k.shape[1]})
+
+    result_x = x[:, 0] if squeeze else x
+    is_block = p > 1
+    name = "gcrodr" if not is_block else "bgcrodr"
+    if options.variant == "flexible":
+        name = "f" + name
+    return SolveResult(
+        x=result_x, converged=converged, iterations=total_it,
+        history=history, method=name, restarts=cycles,
+        breakdown=breakdown_seen,
+        info={"variant": options.variant, "restart": m_restart, "k": k,
+              "block_size": p, "recycle": out_recycle,
+              "strategy": options.recycle_strategy,
+              "same_system": bool(same_system)},
+    )
+
+
+def _project_solve(pk: np.ndarray, rf: np.ndarray) -> np.ndarray:
+    """``P_k R^{-1}`` with a least-squares fallback for singular ``R``."""
+    diag = np.abs(np.diagonal(rf))
+    if rf.size == 0:
+        return pk
+    if diag.min() < 1e-14 * max(diag.max(), 1e-300):
+        return np.linalg.lstsq(rf.T, pk.T, rcond=None)[0].T
+    return sla.solve_triangular(rf.T, pk.T, lower=True).T
+
+
+def check_recycle_invariants(a_apply, u: np.ndarray, c: np.ndarray, *,
+                             tol: float = 1e-6) -> None:
+    """Debug assertions on the recycled pair (``options.check_invariants``).
+
+    Verifies the two defining properties of GCRO-DR's recycled space:
+    ``C^H C = I`` and ``A U = C``.  Raises :class:`FloatingPointError` when
+    either drifts beyond ``tol`` — drift here means the restart updates have
+    gone numerically bad (e.g. a severely ill-conditioned harvest).
+    """
+    if u is None or u.shape[1] == 0:
+        return
+    k = c.shape[1]
+    orth = np.linalg.norm(c.conj().T @ c - np.eye(k, dtype=c.dtype))
+    if orth > tol:
+        raise FloatingPointError(
+            f"recycled basis lost orthonormality: ||C^H C - I|| = {orth:.2e}")
+    au = a_apply(u)
+    rel = np.linalg.norm(au - c) / max(np.linalg.norm(au), 1e-300)
+    if rel > tol:
+        raise FloatingPointError(
+            f"recycled invariant A U = C violated: rel. error {rel:.2e}")
+
+
+def _strategy_w(strategy: str, gm: np.ndarray, c_k: np.ndarray,
+                v_stack: np.ndarray, u_tilde: np.ndarray,
+                k: int, jp: int) -> np.ndarray:
+    """Right-hand side ``W`` of the generalized eigenproblem (line 33).
+
+    Strategy ``A`` is eq. (3a): requires ``[C_k V]^H U_tilde`` — two
+    matrix-matrix products fused into **one** global reduction.  Strategy
+    ``B`` is eq. (3b): ``W = G_m^H [I; 0]`` — no communication at all
+    (section III-C / artifact description note G).
+    """
+    rows = gm.shape[0]          # k + (j+1)p
+    cols = k + jp
+    if strategy == "B":
+        # W = G_m^H [I; 0]: the adjoint of the leading square part of G_m
+        return np.ascontiguousarray(gm[:cols, :].conj().T)
+    # strategy A
+    basis = np.concatenate([c_k, v_stack], axis=1)      # n x rows
+    coeff = _gram_reduce(basis, u_tilde)                # rows x k, ONE reduction
+    wrhs = np.zeros((rows, cols), dtype=gm.dtype)
+    wrhs[:, :k] = coeff
+    wrhs[k:, k:] = np.eye(rows - k, jp, dtype=gm.dtype)
+    return gm.conj().T @ wrhs

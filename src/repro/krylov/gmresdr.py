@@ -1,0 +1,186 @@
+"""GMRES-DR (Morgan 2002) — GMRES with deflated restarting.
+
+The related-work baseline of section II: PETSc's Deflated GMRES keeps the
+``k`` harmonic Ritz vectors of each cycle *inside* the restart space, so a
+single solve converges like unrestarted GMRES on the deflated spectrum —
+but, as the paper stresses, "as implemented, these methods cannot be used
+to recycle Krylov subspace from one linear system solve to the next" (and
+cannot handle variable preconditioning).  That is precisely GCRO-DR's
+advantage; Parks et al. prove the two are equivalent for a single system,
+which `tests/test_krylov_gmresdr.py` verifies numerically.
+
+Implementation follows Morgan's augmented-Arnoldi recurrence: after a
+cycle, the new basis is ``V^new_{k+1} = V_{m+1} Q`` where ``Q`` spans the
+harmonic Ritz vectors *plus* the least-squares residual, and the new
+reduced matrix ``H^new = Q_{k+1}^H Hbar_m Q_k`` has a full (k+1) x k
+leading block — the Arnoldi recurrence continues from column k+1.
+Single right-hand side, fixed (right/left/none) preconditioning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..la.dense import hessenberg_harmonic_lhs, sorted_eig
+from ..util import ledger
+from ..util.ledger import Kernel
+from ..util.misc import as_block, column_norms
+from ..util.options import Options
+from .base import (ConvergenceHistory, IdentityPreconditioner, SolveResult,
+                   as_operator, initial_state, residual_targets)
+from .deflation import select_real_subspace
+from .gmres import setup_preconditioning
+
+__all__ = ["gmresdr"]
+
+
+def gmresdr(a, b, m=None, *, options: Options | None = None,
+            x0: np.ndarray | None = None) -> SolveResult:
+    """Solve ``A x = b`` with GMRES-DR(m, k).
+
+    ``options.recycle`` plays the role of ``k`` (the number of harmonic
+    Ritz vectors retained through every restart).
+    """
+    options = options or Options(krylov_method="gcrodr", recycle=10)
+    k = options.recycle
+    if not 0 < k < options.gmres_restart:
+        raise ValueError("GMRES-DR requires 0 < k < m")
+    if options.variant == "flexible":
+        raise ValueError("GMRES-DR cannot handle variable preconditioning "
+                         "(paper section II-C) — use FGCRO-DR")
+    a = as_operator(a)
+    op_apply, inner_m, left_m = setup_preconditioning(a, m, options)
+    b_arr = as_block(b)
+    if b_arr.shape[1] != 1:
+        raise ValueError("GMRES-DR handles a single right-hand side")
+    squeeze = np.asarray(b).ndim == 1
+
+    x, b2, r = initial_state(a, b_arr, x0)
+    if left_m is not None:
+        b2 = np.asarray(left_m(b2))
+        r = np.asarray(left_m(r)) if x0 is not None else b2.copy()
+    n = b2.shape[0]
+    dtype = x.dtype
+    targets = residual_targets(b2, options.tol)
+    identity_m = isinstance(inner_m, IdentityPreconditioner)
+    led = ledger.current()
+
+    history = ConvergenceHistory(rhs_norms=column_norms(b2))
+    rn = column_norms(r)
+    history.append(rn)
+    converged = rn <= targets
+
+    m_dim = min(options.gmres_restart, n - 1)
+    total_it = 0
+    cycles = 0
+
+    # carried between cycles: augmented basis V (n x (k+1)) and the full
+    # leading block H (k+1 x k); empty before the first cycle
+    v_aug: np.ndarray | None = None
+    h_lead: np.ndarray | None = None
+
+    while not np.all(converged) and total_it < options.max_it:
+        cycles += 1
+        v = np.zeros((n, m_dim + 1), dtype=dtype)
+        hbar = np.zeros((m_dim + 1, m_dim), dtype=dtype)
+        if v_aug is None:
+            beta = float(column_norms(r)[0])
+            led.reduction()
+            if beta == 0:
+                break
+            v[:, 0] = r[:, 0] / beta
+            start = 0
+            c_rhs = np.zeros(m_dim + 1, dtype=dtype)
+            c_rhs[0] = beta
+        else:
+            kk = v_aug.shape[1] - 1
+            v[:, : kk + 1] = v_aug
+            hbar[: kk + 1, :kk] = h_lead
+            start = kk
+            # rhs in the new basis: V^H r (r lies in span(V_aug))
+            c_rhs = np.zeros(m_dim + 1, dtype=dtype)
+            c_rhs[: kk + 1] = v_aug.conj().T @ r[:, 0]
+            led.reduction(nbytes=(kk + 1) * r.itemsize)
+
+        # ---- (augmented) Arnoldi from column `start` to m ----------------
+        j = start
+        while j < m_dim and total_it < options.max_it:
+            zj = v[:, j] if identity_m else np.asarray(
+                inner_m(v[:, j].reshape(-1, 1)))[:, 0].astype(dtype)
+            w = op_apply(zj.reshape(-1, 1))[:, 0]
+            coeffs = v[:, : j + 1].conj().T @ w
+            led.reduction(nbytes=(j + 1) * w.itemsize)
+            led.flop(Kernel.BLAS3, 4.0 * (j + 1) * n)
+            w = w - v[:, : j + 1] @ coeffs
+            c2 = v[:, : j + 1].conj().T @ w       # one re-orthogonalization
+            led.reduction(nbytes=(j + 1) * w.itemsize)
+            w = w - v[:, : j + 1] @ c2
+            coeffs = coeffs + c2
+            nrm = float(np.linalg.norm(w))
+            led.reduction()
+            hbar[: j + 1, j] = coeffs
+            hbar[j + 1, j] = nrm
+            total_it += 1
+            j += 1
+            if nrm <= 1e-300:
+                break
+            v[:, j] = w / nrm
+            # residual estimate via a small LS solve (redundant work)
+            y_est, *_ = np.linalg.lstsq(hbar[: j + 1, :j], c_rhs[: j + 1],
+                                        rcond=None)
+            res_est = float(np.linalg.norm(
+                c_rhs[: j + 1] - hbar[: j + 1, :j] @ y_est))
+            history.append(np.array([res_est]))
+            if res_est <= targets[0]:
+                break
+        jc = j
+        if jc == 0:
+            break
+
+        # ---- solve the projected problem and update x ---------------------
+        hj = hbar[: jc + 1, :jc]
+        y, *_ = np.linalg.lstsq(hj, c_rhs[: jc + 1], rcond=None)
+        if identity_m:
+            dx = v[:, :jc] @ y
+        else:
+            dx = np.asarray(inner_m(v[:, :jc] @ y.reshape(-1, 1)))[:, 0]
+        x[:, 0] += dx
+        if left_m is None:
+            r = b2 - op_apply(x)
+        else:
+            r = np.asarray(left_m(b_arr.astype(dtype) - a.matmat(x)))
+        rn = column_norms(r)
+        led.reduction()
+        converged = rn <= targets
+        history.records[-1] = rn / np.where(history.rhs_norms > 0,
+                                            history.rhs_norms, 1.0)
+        if np.all(converged):
+            break
+
+        # ---- deflated restart: harmonic Ritz + LS residual ---------------
+        hmat = hessenberg_harmonic_lhs(hj, None, hbar[jc: jc + 1, jc - 1: jc],
+                                       1)
+        vals, vecs = sorted_eig(hmat, jc, target=options.recycle_target)
+        pk = select_real_subspace(vals, vecs, min(k, jc - 1), np.dtype(dtype))
+        if pk.shape[1] == 0:
+            v_aug = None
+            h_lead = None
+            continue
+        kk = pk.shape[1]
+        # append the LS residual of the projected problem (Morgan's trick)
+        ls_res = c_rhs[: jc + 1] - hj @ y
+        p_ext = np.zeros((jc + 1, kk + 1), dtype=dtype)
+        p_ext[:jc, :kk] = pk
+        p_ext[:, kk] = ls_res
+        q, _ = np.linalg.qr(p_ext)
+        led.flop(Kernel.QR, 4.0 * (jc + 1) * (kk + 1) ** 2)
+        v_aug = v[:, : jc + 1] @ q               # n x (kk+1), orthonormal
+        h_lead = q[:, : kk + 1].conj().T @ hj @ q[:jc, :kk]
+        led.flop(Kernel.BLAS3, 4.0 * n * (jc + 1) * (kk + 1))
+
+    result_x = x[:, 0] if squeeze else x
+    return SolveResult(
+        x=result_x, converged=converged, iterations=total_it,
+        history=history, method="gmresdr", restarts=cycles,
+        info={"variant": options.variant, "restart": m_dim, "k": k},
+    )

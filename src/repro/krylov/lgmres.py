@@ -1,0 +1,154 @@
+"""Loose GMRES (Baker, Jessup & Manteuffel) — the PETSc baseline of Fig. 3c/d.
+
+LGMRES(m, l) augments each restart cycle's Krylov space with the ``l`` most
+recent *error approximations* ``z_i = x_{i} - x_{i-1}`` (the correction made
+by cycle ``i``).  Unlike GCRO-DR the augmentation vectors are not deflated
+eigendirections and carry no spectral information across *different*
+operators, which is why the paper finds GCRO-DR converges in 96 fewer
+iterations on the elasticity sequence (269 vs 173).
+
+Single right-hand side only, mirroring the PETSc implementation
+(``-ksp_type lgmres -ksp_lgmres_augment l``); flexible preconditioning is
+likewise unsupported in PETSc ("unfortunately, the flexible variant of
+LGMRES is not in PETSc"), so only left/right variants are allowed here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..la.blockqr import BlockHessenbergQR
+from ..util import ledger
+from ..util.ledger import Kernel
+from ..util.misc import as_block, column_norms
+from ..util.options import Options
+from .base import (ConvergenceHistory, IdentityPreconditioner, SolveResult,
+                   as_operator, initial_state, residual_targets)
+from .gmres import setup_preconditioning
+
+__all__ = ["lgmres"]
+
+
+def lgmres(a, b, m=None, *, options: Options | None = None,
+           x0: np.ndarray | None = None, augment: int | None = None) -> SolveResult:
+    """Solve ``A x = b`` with LGMRES(m, l).
+
+    ``augment`` (aka ``-ksp_lgmres_augment``) defaults to ``options.recycle``
+    so LGMRES(30, 10) and GCRO-DR(30, 10) can be compared with identical
+    option objects, as in the paper's elasticity experiment.
+    """
+    options = options or Options(krylov_method="lgmres")
+    if options.variant == "flexible":
+        raise ValueError("LGMRES does not support flexible preconditioning "
+                         "(matching PETSc's implementation)")
+    l_aug = options.recycle if augment is None else int(augment)
+    a = as_operator(a)
+    op_apply, inner_m, left_m = setup_preconditioning(a, m, options)
+    b_arr = as_block(b)
+    if b_arr.shape[1] != 1:
+        raise ValueError("LGMRES handles a single right-hand side "
+                         "(PETSc parity); loop over columns for multiple RHSs")
+    squeeze = np.asarray(b).ndim == 1
+
+    x, b2, r = initial_state(a, b_arr, x0)
+    if left_m is not None:
+        b2 = np.asarray(left_m(b2))
+        r = np.asarray(left_m(r)) if x0 is not None else b2.copy()
+    n = b2.shape[0]
+    dtype = x.dtype
+    targets = residual_targets(b2, options.tol)
+    identity_m = isinstance(inner_m, IdentityPreconditioner)
+
+    history = ConvergenceHistory(rhs_norms=column_norms(b2))
+    rn = column_norms(r)
+    history.append(rn)
+    converged = rn <= targets
+
+    m_total = min(options.gmres_restart, n)   # total space per cycle (Krylov + aug)
+    led = ledger.current()
+    total_it = 0
+    cycles = 0
+    # stored error approximations, most recent first
+    corrections: deque[np.ndarray] = deque(maxlen=max(l_aug, 0))
+
+    while not np.all(converged) and total_it < options.max_it:
+        cycles += 1
+        beta = float(column_norms(r)[0])
+        led.reduction()
+        if beta == 0.0:
+            break
+        v = np.zeros((m_total + 1, n), dtype=dtype)
+        z = np.zeros((m_total, n), dtype=dtype)
+        v[0] = r[:, 0] / beta
+        hqr = BlockHessenbergQR(m_total, 1, np.array([[beta]]), dtype=dtype)
+        n_aug = min(len(corrections), l_aug)
+        n_kry = m_total - n_aug
+
+        j = 0
+        broke = False
+        while j < m_total and total_it < options.max_it:
+            # augmented directions are appended after the Krylov ones;
+            # both go through the same generalized-Arnoldi machinery.
+            if j < n_kry:
+                c_dir = v[j]
+            else:
+                c_dir = corrections[j - n_kry][:, 0]
+            zj = c_dir if identity_m else np.asarray(
+                inner_m(c_dir.reshape(-1, 1))).astype(dtype, copy=False)[:, 0]
+            z[j] = zj
+            w = op_apply(zj.reshape(-1, 1))[:, 0]
+            basis = v[: j + 1]
+            dots = basis.conj() @ w
+            led.reduction(nbytes=(j + 1) * w.itemsize)
+            led.flop(Kernel.BLAS3, 4.0 * (j + 1) * n)
+            w = w - basis.T @ dots
+            if options.orthogonalization == "imgs":
+                d2 = basis.conj() @ w
+                led.reduction(nbytes=(j + 1) * w.itemsize)
+                w = w - basis.T @ d2
+                dots = dots + d2
+            nrm = float(np.linalg.norm(w))
+            led.reduction()
+            hcol = np.concatenate([dots, [nrm]]).reshape(-1, 1).astype(dtype)
+            res = hqr.add_column(hcol)
+            history.append(res)
+            total_it += 1
+            j += 1
+            if nrm <= 1e-300:
+                broke = True
+                break
+            v[j] = w / nrm
+            if float(res[0]) <= targets[0]:
+                break
+
+        if j == 0:
+            break
+        y = hqr.solve()[:, 0]
+        dx = z[:j].T @ y
+        led.flop(Kernel.BLAS2, 2.0 * n * j)
+        x[:, 0] += dx
+        # store the (normalized) error approximation for the next cycles
+        ndx = float(np.linalg.norm(dx))
+        led.reduction()
+        if l_aug > 0 and ndx > 0:
+            corrections.appendleft((dx / ndx).reshape(-1, 1))
+        if left_m is None:
+            r = b2 - op_apply(x)
+        else:
+            r = np.asarray(left_m(b_arr.astype(dtype) - a.matmat(x)))
+        rn = column_norms(r)
+        led.reduction()
+        converged = rn <= targets
+        history.records[-1] = rn / np.where(history.rhs_norms > 0,
+                                            history.rhs_norms, 1.0)
+        if broke and not np.all(converged):
+            continue  # lucky breakdown mid-cycle: restart from the new residual
+
+    result_x = x[:, 0] if squeeze else x
+    return SolveResult(
+        x=result_x, converged=converged, iterations=total_it,
+        history=history, method="lgmres", restarts=cycles,
+        info={"variant": options.variant, "restart": m_total, "augment": l_aug},
+    )

@@ -1,0 +1,327 @@
+"""Pseudo-block GCRO-DR — fused independent recurrences (paper §V-B1).
+
+The pseudo-block idea ("operations for each RHS are fused together"):
+every right-hand side keeps its *own* Krylov recurrence, Hessenberg matrix
+and recycled pair ``(U_l, C_l)``, but the expensive distributed kernels —
+the SpMM, the preconditioner application, the batched inner products —
+process all columns at once.  Fig. 8's alternatives 3, 5 and 6 are this
+method (for GMRES the fusion lives in :func:`repro.krylov.gmres.gmres`).
+
+Cycles run in lockstep: all active columns restart together after
+``m - k`` inner steps (or ``m`` during the initial harvest cycle), and
+converged columns are frozen.  This is the natural fused organization —
+it trades a handful of extra iterations on early-converging columns for
+one global synchronization pattern shared by the whole block, which is
+the entire point of pseudo-blocking (fewer, fatter messages).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..la.blockqr import BlockHessenbergQR
+from ..util import ledger
+from ..util.ledger import Kernel
+from ..util.misc import as_block, column_norms
+from ..util.options import Options
+from .base import (ConvergenceHistory, IdentityPreconditioner, SolveResult,
+                   as_operator, initial_state, residual_targets)
+from .deflation import harmonic_ritz_vectors, generalized_ritz_vectors
+from .gcrodr import _harvest, _project_solve, _strategy_w
+from .gmres import setup_preconditioning
+from .recycling import RecycledSubspace
+
+__all__ = ["pgcrodr", "PseudoBlockRecycle"]
+
+
+class PseudoBlockRecycle:
+    """Per-column recycled pairs for a pseudo-block sequence."""
+
+    def __init__(self, spaces: list[RecycledSubspace | None], op_tag=None):
+        self.spaces = spaces
+        self.op_tag = op_tag
+
+    @property
+    def p(self) -> int:
+        return len(self.spaces)
+
+    def matches_operator(self, tag) -> bool:
+        return self.op_tag is not None and self.op_tag == tag
+
+
+class _Column:
+    """One RHS's private GCRO-DR state."""
+
+    def __init__(self, l: int, dtype):
+        self.l = l
+        self.dtype = dtype
+        self.u: np.ndarray | None = None      # n x k
+        self.c: np.ndarray | None = None
+        self.hqr: BlockHessenbergQR | None = None
+        self.e_cols: list[np.ndarray] = []
+        self.active = True
+        self.steps = 0
+        self.chr_prev: np.ndarray | None = None
+
+    @property
+    def k(self) -> int:
+        return 0 if self.u is None else self.u.shape[1]
+
+
+def pgcrodr(a, b, m=None, *, options: Options | None = None,
+            x0: np.ndarray | None = None,
+            recycle: PseudoBlockRecycle | None = None,
+            same_system: bool | None = None) -> SolveResult:
+    """Solve ``A X = B`` with pseudo-block GCRO-DR(m, k).
+
+    Accepts/returns a :class:`PseudoBlockRecycle` (one recycled pair per
+    column) through ``recycle`` / ``result.info["recycle"]``.
+    """
+    options = options or Options(krylov_method="gcrodr", recycle=10)
+    k = options.recycle
+    if k <= 0:
+        raise ValueError("GCRO-DR requires options.recycle (k) > 0")
+    a = as_operator(a)
+    op_apply, inner_m, left_m = setup_preconditioning(a, m, options)
+    b_in = as_block(b)
+    squeeze = np.asarray(b).ndim == 1
+
+    x, b2, r = initial_state(a, b_in, x0)
+    if left_m is not None:
+        b2 = np.asarray(left_m(b2))
+        r = np.asarray(left_m(r)) if x0 is not None else b2.copy()
+    n, p = b2.shape
+    dtype = x.dtype
+    targets = residual_targets(b2, options.tol)
+    identity_m = isinstance(inner_m, IdentityPreconditioner)
+    led = ledger.current()
+
+    history = ConvergenceHistory(rhs_norms=column_norms(b2))
+    rn = column_norms(r)
+    history.append(rn)
+    converged = rn <= targets
+
+    m_restart = options.gmres_restart
+    total_it = 0
+    cycles = 0
+
+    cols = [_Column(l, dtype) for l in range(p)]
+
+    # ---- adopt incoming recycled spaces ---------------------------------
+    if recycle is not None and recycle.p == p:
+        if same_system is None:
+            same_system = options.recycle_same_system or \
+                recycle.matches_operator(a.tag)
+        for col, space in zip(cols, recycle.spaces):
+            if space is None or space.k == 0:
+                continue
+            col.u = np.asarray(space.u, dtype=dtype).copy()
+            col.c = np.asarray(space.c, dtype=dtype).copy()
+        if not same_system:
+            import scipy.linalg as sla
+            for col in cols:
+                if col.u is None:
+                    continue
+                au = op_apply(col.u)
+                q, rfac, piv = sla.qr(au, mode="economic", pivoting=True)
+                led.reduction(nbytes=col.k ** 2 * au.itemsize)
+                d = np.abs(np.diagonal(rfac))
+                rank = int(np.count_nonzero(
+                    d > options.deflation_tol * max(d[0], 1e-300))) if d.size else 0
+                if rank == 0:
+                    col.u = col.c = None
+                else:
+                    col.c = np.ascontiguousarray(q[:, :rank])
+                    col.u = _project_solve(col.u[:, piv[:rank]],
+                                           rfac[:rank, :rank])
+        # fused init projection: X += U_l C_l^H r_l per column
+        led.reduction(nbytes=p * 8)
+        for l, col in enumerate(cols):
+            if col.u is None:
+                continue
+            chr0 = col.c.conj().T @ r[:, l]
+            x[:, l] += col.u @ chr0
+            r[:, l] -= col.c @ chr0
+        rn = column_norms(r)
+        led.reduction(nbytes=p * 8)
+        history.append(rn)
+        converged = rn <= targets
+    else:
+        same_system = False
+
+    have_recycle = any(col.u is not None for col in cols)
+
+    # ------------------------------------------------------------------
+    while not np.all(converged) and total_it < options.max_it:
+        cycles += 1
+        harvesting = not have_recycle
+        steps = m_restart if harvesting else max(m_restart - k, 1)
+        steps = min(steps, max(options.max_it - total_it, 1))
+
+        beta = column_norms(r)
+        led.reduction(nbytes=p * 8)
+        v = np.zeros((steps + 1, n, p), dtype=dtype)
+        z = v if identity_m else np.zeros((steps, n, p), dtype=dtype)
+        for l, col in enumerate(cols):
+            col.active = (not converged[l]) and beta[l] > 0
+            col.steps = 0
+            col.e_cols = []
+            col.chr_prev = None
+            if col.active:
+                v[0, :, l] = r[:, l] / beta[l]
+                col.hqr = BlockHessenbergQR(steps, 1,
+                                            np.array([[beta[l]]]), dtype=dtype)
+                if col.u is not None and not harvesting:
+                    col.chr_prev = col.c.conj().T @ r[:, l]
+        if any(col.chr_prev is not None for col in cols):
+            led.reduction(nbytes=p * 8)   # fused C^H r across columns
+
+        j = 0
+        while j < steps and any(c.active for c in cols) \
+                and total_it < options.max_it:
+            zj = v[j] if identity_m else \
+                np.asarray(inner_m(v[j])).astype(dtype, copy=False)
+            if not identity_m:
+                z[j] = zj
+            w = op_apply(zj)
+            # fused projection against each column's own C_l (1 reduction)
+            any_ck = False
+            for l, col in enumerate(cols):
+                if col.active and col.c is not None and not harvesting:
+                    e_col = col.c.conj().T @ w[:, l]
+                    w[:, l] -= col.c @ e_col
+                    col.e_cols.append(e_col.reshape(-1, 1))
+                    any_ck = True
+            if any_ck:
+                led.reduction(nbytes=p * k * w.itemsize)
+            # fused Arnoldi orthogonalization (1 reduction for the dots)
+            basis = v[: j + 1]
+            dots = np.einsum("inp,np->ip", basis.conj(), w)
+            led.reduction(nbytes=(j + 1) * p * w.itemsize)
+            led.flop(Kernel.BLAS3, 4.0 * (j + 1) * n * p)
+            w = w - np.einsum("inp,ip->np", basis, dots)
+            if options.orthogonalization == "imgs":
+                d2 = np.einsum("inp,np->ip", basis.conj(), w)
+                led.reduction(nbytes=(j + 1) * p * w.itemsize)
+                w = w - np.einsum("inp,ip->np", basis, d2)
+                dots = dots + d2
+            nrm = column_norms(w)
+            led.reduction(nbytes=p * 8)
+
+            new_res = np.zeros(p)
+            prev = history.records[-1] * np.where(history.rhs_norms > 0,
+                                                  history.rhs_norms, 1.0)
+            for l, col in enumerate(cols):
+                if not col.active:
+                    new_res[l] = prev[l]
+                    continue
+                if nrm[l] <= 1e-300 or not np.isfinite(nrm[l]):
+                    hcol = np.concatenate([dots[:, l], [0.0]]).reshape(-1, 1)
+                    res_l = col.hqr.add_column(hcol.astype(dtype))
+                    col.steps = j + 1
+                    col.active = False
+                    new_res[l] = float(res_l[0])
+                    continue
+                v[j + 1, :, l] = w[:, l] / nrm[l]
+                hcol = np.concatenate([dots[:, l], [nrm[l]]]).reshape(-1, 1)
+                res_l = col.hqr.add_column(hcol.astype(dtype))
+                col.steps = j + 1
+                new_res[l] = float(res_l[0])
+                if new_res[l] <= targets[l]:
+                    col.active = False
+            history.append(new_res)
+            total_it += 1
+            j += 1
+
+        # ---- end of cycle: per-column updates ----------------------------
+        for l, col in enumerate(cols):
+            jc = col.steps
+            if jc == 0:
+                continue
+            y = col.hqr.solve()[:, 0]
+            zl = z[:jc, :, l]
+            dx = zl.T @ y
+            if col.u is not None and not harvesting:
+                ek = (np.concatenate(col.e_cols, axis=1)
+                      if col.e_cols else np.zeros((col.k, jc), dtype=dtype))
+                yk = col.chr_prev - ek @ y
+                dx = dx + col.u @ yk
+            x[:, l] += dx
+            led.flop(Kernel.BLAS2, 2.0 * n * jc)
+        # fused explicit residual (one SpMM)
+        if left_m is None:
+            r = b2 - op_apply(x)
+        else:
+            r = np.asarray(left_m(b_in.astype(dtype) - a.matmat(x)))
+        rn = column_norms(r)
+        led.reduction(nbytes=p * 8)
+        converged = rn <= targets
+        history.records[-1] = rn / np.where(history.rhs_norms > 0,
+                                            history.rhs_norms, 1.0)
+
+        # ---- recycle harvest / update ------------------------------------
+        for l, col in enumerate(cols):
+            jc = col.steps
+            if jc == 0:
+                continue
+            if harvesting:
+                if jc < 2:
+                    continue
+                hbar = col.hqr.hessenberg()
+                pk = harmonic_ritz_vectors(
+                    hbar, col.hqr.triangular(), col.hqr.last_subdiagonal_block(),
+                    1, k, dtype=dtype, target=options.recycle_target)
+                if pk.shape[1]:
+                    qf, s = _harvest(hbar, pk)
+                    vstack = np.column_stack(
+                        [v[i, :, l] for i in range(jc + 1)])
+                    zstack = vstack[:, :jc] if identity_m else \
+                        np.column_stack([z[i, :, l] for i in range(jc)])
+                    col.c = vstack @ qf
+                    col.u = zstack @ s
+            elif not same_system and col.u is not None:
+                led.event("recycle_update")
+                dk = np.linalg.norm(col.u, axis=0)
+                led.reduction(nbytes=col.k * 8)
+                dk_safe = np.where(dk > 0, dk, 1.0)
+                u_tilde = col.u / dk_safe
+                hbar = col.hqr.hessenberg()
+                kc = col.k
+                ek = (np.concatenate(col.e_cols, axis=1)
+                      if col.e_cols else np.zeros((kc, jc), dtype=dtype))
+                gm = np.zeros((kc + hbar.shape[0], kc + jc), dtype=dtype)
+                gm[:kc, :kc] = np.diag((1.0 / dk_safe).astype(dtype))
+                gm[:kc, kc:] = ek
+                gm[kc:, kc:] = hbar
+                vstack = np.column_stack([v[i, :, l] for i in range(jc + 1)])
+                zstack = vstack[:, :jc] if identity_m else \
+                    np.column_stack([z[i, :, l] for i in range(jc)])
+                w_mat = _strategy_w(options.recycle_strategy, gm, col.c,
+                                    vstack, u_tilde, kc, jc)
+                pk = generalized_ritz_vectors(gm, w_mat, k, dtype=dtype,
+                                              target=options.recycle_target)
+                if pk.shape[1]:
+                    qf, s = _harvest(gm, pk)
+                    cv = np.concatenate([col.c, vstack], axis=1)
+                    uz = np.concatenate([u_tilde, zstack], axis=1)
+                    col.c = cv @ qf
+                    col.u = uz @ s
+        if harvesting and any(col.u is not None for col in cols):
+            have_recycle = True
+
+    spaces = [RecycledSubspace(col.u, col.c, op_tag=a.tag)
+              if col.u is not None else None for col in cols]
+    out_recycle = PseudoBlockRecycle(spaces, op_tag=a.tag)
+
+    result_x = x[:, 0] if squeeze else x
+    name = "pgcrodr" if p > 1 else "gcrodr"
+    if options.variant == "flexible":
+        name = "f" + name
+    return SolveResult(
+        x=result_x, converged=converged, iterations=total_it,
+        history=history, method=name, restarts=cycles,
+        info={"variant": options.variant, "restart": m_restart, "k": k,
+              "block_size": p, "recycle": out_recycle,
+              "strategy": options.recycle_strategy,
+              "same_system": bool(same_system)},
+    )

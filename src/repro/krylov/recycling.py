@@ -1,0 +1,80 @@
+"""Persistent storage of recycled Krylov subspaces between solves.
+
+The paper allocates persistent memory for the recycled vectors ``U_k`` and
+``C_k`` between cycles "using a singleton class" (section III-D).  The
+Python equivalent is an explicit, picklable holder object that the caller
+threads through a sequence of solves (or lets :class:`repro.api.Solver`
+manage); a process-wide registry keyed by user labels is provided for
+PETSc-callback-style integrations where no object can be threaded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["RecycledSubspace", "RecyclingStore"]
+
+
+@dataclass
+class RecycledSubspace:
+    """The pair ``(U_k, C_k)`` with ``A U_k = C_k`` and ``C_k^H C_k = I``.
+
+    ``op_tag`` identifies the operator the invariants currently hold for —
+    when the next solve presents a different operator, GCRO-DR must
+    re-orthonormalize (``[Q,R] = qr(A U_k)``, paper lines 4-6) unless the
+    caller promises the operator is unchanged
+    (``-hpddm_recycle_same_system``).
+    """
+
+    u: np.ndarray
+    c: np.ndarray
+    op_tag: Any = None
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def k(self) -> int:
+        return 0 if self.u is None else self.u.shape[1]
+
+    def matches_operator(self, tag: Any) -> bool:
+        return self.op_tag is not None and self.op_tag == tag
+
+    def copy(self) -> "RecycledSubspace":
+        return RecycledSubspace(self.u.copy(), self.c.copy(), self.op_tag,
+                                dict(self.meta))
+
+
+class RecyclingStore:
+    """Registry of recycled subspaces keyed by a user label.
+
+    Mirrors HPDDM's singleton: callback-style codes (the modified PETSc
+    examples of the artifact description) address their recycled space by
+    name instead of carrying an object through the call stack.
+    """
+
+    def __init__(self) -> None:
+        self._spaces: dict[Any, RecycledSubspace] = {}
+
+    def get(self, key: Any) -> RecycledSubspace | None:
+        return self._spaces.get(key)
+
+    def put(self, key: Any, space: RecycledSubspace) -> None:
+        self._spaces[key] = space
+
+    def drop(self, key: Any) -> None:
+        self._spaces.pop(key, None)
+
+    def clear(self) -> None:
+        self._spaces.clear()
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._spaces
+
+    def __len__(self) -> int:
+        return len(self._spaces)
+
+
+#: module-level default store (the "singleton" of the paper)
+GLOBAL_STORE = RecyclingStore()

@@ -1,0 +1,21 @@
+"""Dense/tall-skinny linear algebra kernels."""
+
+from .blockqr import BlockHessenbergQR
+from .orthogonalization import (arnoldi_orthogonalize, cholqr, cholqr_rr,
+                                classical_gram_schmidt_qr, householder_qr,
+                                modified_gram_schmidt_qr, project_out,
+                                qr_factorization, shifted_cholqr, tsqr)
+
+__all__ = [
+    "BlockHessenbergQR",
+    "cholqr",
+    "shifted_cholqr",
+    "cholqr_rr",
+    "tsqr",
+    "householder_qr",
+    "classical_gram_schmidt_qr",
+    "modified_gram_schmidt_qr",
+    "qr_factorization",
+    "project_out",
+    "arnoldi_orthogonalize",
+]

@@ -1,0 +1,15 @@
+"""Performance models: machine description, ledger-to-time, direct solves."""
+
+from .directmodel import DirectSolveModel, efficiency_table
+from .estimate import TimeBreakdown, modeled_time, strong_scaling_projection
+from .machine import CURIE, MachineModel
+
+__all__ = [
+    "MachineModel",
+    "CURIE",
+    "TimeBreakdown",
+    "modeled_time",
+    "strong_scaling_projection",
+    "DirectSolveModel",
+    "efficiency_table",
+]

@@ -1,0 +1,13 @@
+"""Preconditioners: AMG, overlapping Schwarz, and point baselines."""
+
+from .amg import SmoothedAggregationAMG
+from .schwarz import SchwarzPreconditioner, algebraic_interface_shift
+from .simple import JacobiPreconditioner, SSORPreconditioner
+
+__all__ = [
+    "SmoothedAggregationAMG",
+    "SchwarzPreconditioner",
+    "algebraic_interface_shift",
+    "JacobiPreconditioner",
+    "SSORPreconditioner",
+]

@@ -1,0 +1,129 @@
+"""Strength-of-connection graphs and greedy aggregation for SA-AMG.
+
+Mirrors the knobs of PETSc's GAMG used in the paper's command lines:
+
+* ``threshold`` — ``-pc_gamg_threshold``: edge ``(i, j)`` is *strong* when
+  ``|a_ij| > threshold * sqrt(|a_ii a_jj|)``; raising it drops more edges,
+  giving smaller/cheaper coarse grids at the price of more iterations
+  (exactly the trade-off of Fig. 2c/d);
+* ``square_graph`` — ``-pc_gamg_square_graph``: aggregate on the square of
+  the strength graph (distance-2 aggregates, coarser grids).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["strength_graph", "greedy_aggregation", "tentative_prolongator"]
+
+
+def strength_graph(a: sp.spmatrix, *, threshold: float = 0.0,
+                   square: int = 0) -> sp.csr_matrix:
+    """Boolean strength-of-connection graph of ``a``.
+
+    For vector problems callers should pass the scalar *block* matrix (one
+    row per node); this routine treats the matrix entries as given.
+    """
+    a = sp.csr_matrix(a)
+    n = a.shape[0]
+    coo = a.tocoo()
+    absval = np.abs(coo.data)
+    diag = np.abs(a.diagonal())
+    diag_safe = np.where(diag > 0, diag, 1.0)
+    scale = np.sqrt(diag_safe[coo.row] * diag_safe[coo.col])
+    keep = (absval > threshold * scale) & (coo.row != coo.col)
+    g = sp.csr_matrix((np.ones(np.count_nonzero(keep), dtype=np.int8),
+                       (coo.row[keep], coo.col[keep])), shape=(n, n))
+    g = ((g + g.T) > 0).astype(np.int8)
+    for _ in range(square):
+        g = ((g @ g + g) > 0).astype(np.int8)
+        g.setdiag(0)
+        g.eliminate_zeros()
+    return g.tocsr()
+
+
+def greedy_aggregation(strength: sp.csr_matrix) -> np.ndarray:
+    """Root-based greedy aggregation (standard SA pass 1 + 2 + 3).
+
+    Returns ``agg`` of length n with ``agg[i]`` = aggregate id of node i.
+
+    * pass 1: any node whose strong neighbourhood is fully unaggregated
+      becomes a root and absorbs that neighbourhood;
+    * pass 2: remaining nodes join the aggregate most of their strong
+      neighbours belong to;
+    * pass 3: still-isolated nodes become singleton aggregates.
+    """
+    n = strength.shape[0]
+    indptr, indices = strength.indptr, strength.indices
+    agg = np.full(n, -1, dtype=np.int64)
+    next_id = 0
+    # pass 1
+    for i in range(n):
+        if agg[i] != -1:
+            continue
+        neigh = indices[indptr[i]: indptr[i + 1]]
+        if np.all(agg[neigh] == -1):
+            agg[i] = next_id
+            agg[neigh] = next_id
+            next_id += 1
+    # pass 2
+    for i in range(n):
+        if agg[i] != -1:
+            continue
+        neigh = indices[indptr[i]: indptr[i + 1]]
+        assigned = agg[neigh]
+        assigned = assigned[assigned >= 0]
+        if assigned.size:
+            vals, counts = np.unique(assigned, return_counts=True)
+            agg[i] = vals[np.argmax(counts)]
+    # pass 3
+    for i in range(n):
+        if agg[i] == -1:
+            agg[i] = next_id
+            next_id += 1
+    return agg
+
+
+def tentative_prolongator(agg: np.ndarray, nullspace: np.ndarray,
+                          *, block_size: int = 1
+                          ) -> tuple[sp.csr_matrix, np.ndarray]:
+    """Build the tentative prolongator from aggregates and near-nullspace.
+
+    Each aggregate contributes ``nvec`` coarse degrees of freedom: the
+    restriction of the near-nullspace vectors to the aggregate's rows,
+    orthonormalized by a local QR.  Returns ``(T, coarse_nullspace)`` where
+    the R factors stack into the coarse-level near-nullspace (standard SA).
+
+    ``block_size`` expands a *node*-based aggregation to vector problems:
+    ``agg`` has one entry per node and rows ``node*bs .. node*bs+bs-1``
+    belong to that node.
+    """
+    nullspace = np.asarray(nullspace, dtype=nullspace.dtype)
+    if nullspace.ndim == 1:
+        nullspace = nullspace.reshape(-1, 1)
+    n_rows, nvec = nullspace.shape
+    n_nodes = agg.shape[0]
+    if n_nodes * block_size != n_rows:
+        raise ValueError(f"{n_nodes} nodes x block {block_size} != {n_rows} rows")
+    n_agg = int(agg.max()) + 1
+    rows_by_agg: list[list[int]] = [[] for _ in range(n_agg)]
+    for node, a_id in enumerate(agg):
+        base = node * block_size
+        rows_by_agg[a_id].extend(range(base, base + block_size))
+
+    data, rows, cols = [], [], []
+    coarse_ns = np.zeros((n_agg * nvec, nvec), dtype=nullspace.dtype)
+    for a_id, agg_rows in enumerate(rows_by_agg):
+        agg_rows = np.asarray(agg_rows, dtype=np.int64)
+        local = nullspace[agg_rows]                   # (rows, nvec)
+        q, r = np.linalg.qr(local)
+        keep = min(q.shape[1], nvec)
+        for v in range(keep):
+            col = a_id * nvec + v
+            rows.extend(agg_rows.tolist())
+            cols.extend([col] * len(agg_rows))
+            data.extend(q[:, v].tolist())
+        coarse_ns[a_id * nvec: a_id * nvec + keep, :] = r[:keep, :]
+    t = sp.csr_matrix((data, (rows, cols)), shape=(n_rows, n_agg * nvec))
+    return t, coarse_ns

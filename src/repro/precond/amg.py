@@ -1,0 +1,227 @@
+"""Smoothed-aggregation algebraic multigrid — the GAMG stand-in.
+
+Implements the pieces the paper's experiments exercise:
+
+* strength threshold (``-pc_gamg_threshold``) and graph squaring
+  (``-pc_gamg_square_graph``) controlling setup cost vs robustness
+  (Fig. 2a/b vs 2c/d);
+* near-nullspace vectors — the six rigid-body modes for elasticity
+  (``MatNullSpaceCreateRigidBody`` in the paper's ex56 run);
+* pluggable smoothers: Chebyshev (PETSc's default — keeps the cycle
+  linear), or a fixed number of GMRES / CG iterations
+  (``-mg_levels_ksp_type gmres/cg``) which makes the preconditioner
+  *variable* and forces flexible outer Krylov methods (section III-C).
+
+The V-cycle is standard SA: smoothed prolongation
+``P = (I - omega D^{-1} A) T`` and Galerkin coarse operators, with a
+sparse-LU coarse solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..direct.solver import SparseLU
+from ..krylov.base import Preconditioner, as_operator
+from ..krylov.chebyshev import chebyshev_iteration, estimate_lambda_max
+from ..util import ledger
+from ..util.ledger import Kernel
+from ..util.misc import as_block
+from .aggregation import greedy_aggregation, strength_graph, tentative_prolongator
+
+__all__ = ["SmoothedAggregationAMG", "AMGLevel"]
+
+
+@dataclass
+class AMGLevel:
+    """One level of the hierarchy."""
+
+    a: sp.csr_matrix
+    p: sp.csr_matrix | None          # prolongator to THIS level from coarser
+    diag: np.ndarray
+    lam_max: float
+    smoother_state: dict
+
+
+def _condense_to_nodes(a: sp.csr_matrix, block_size: int) -> sp.csr_matrix:
+    """Sum |entries| of each bs x bs block to get the node-graph matrix."""
+    if block_size == 1:
+        return a
+    n_nodes = a.shape[0] // block_size
+    coo = a.tocoo()
+    rows = coo.row // block_size
+    cols = coo.col // block_size
+    return sp.csr_matrix((np.abs(coo.data), (rows, cols)),
+                         shape=(n_nodes, n_nodes))
+
+
+class SmoothedAggregationAMG(Preconditioner):
+    """SA-AMG V-cycle preconditioner.
+
+    Parameters
+    ----------
+    a:
+        system matrix (CSR).
+    threshold:
+        strength-of-connection drop tolerance (``-pc_gamg_threshold``).
+    square_graph:
+        number of levels on which to square the strength graph
+        (``-pc_gamg_square_graph``).
+    nullspace:
+        near-nullspace block (n x nvec); defaults to the constant vector.
+    block_size:
+        DOFs per mesh node (3 for 3-D elasticity) — aggregation is per node.
+    smoother:
+        ``"chebyshev"`` (linear), ``"gmres"`` or ``"cg"`` (variable!),
+        or ``"jacobi"``.
+    smoother_iterations:
+        sweeps per pre/post smoothing application
+        (``-mg_levels_ksp_max_it``).
+    coarse_size:
+        stop coarsening below this many unknowns; solve directly.
+    max_levels:
+        hierarchy depth cap.
+    coarse_solver:
+        ``"lu"`` (exact, default) or ``"cg"`` — a fixed number of CG sweeps
+        (``coarse_iterations``) on the coarsest level.  An inexact coarse
+        solve leaves a low-dimensional error subspace exactly like the
+        approximately-solved coarse problems of extreme-scale multigrid;
+        it also makes the preconditioner *variable*.
+    """
+
+    def __init__(self, a: sp.spmatrix, *, threshold: float = 0.0,
+                 square_graph: int = 0,
+                 nullspace: np.ndarray | None = None,
+                 block_size: int = 1,
+                 smoother: str = "chebyshev",
+                 smoother_iterations: int = 2,
+                 coarse_size: int = 300,
+                 max_levels: int = 10,
+                 omega: float = 4.0 / 3.0,
+                 coarse_solver: str = "lu",
+                 coarse_iterations: int = 10):
+        a = sp.csr_matrix(a)
+        self.dtype = np.promote_types(a.dtype, np.float64)
+        a = a.astype(self.dtype)
+        if smoother not in ("chebyshev", "jacobi", "gmres", "cg"):
+            raise ValueError(f"unknown smoother {smoother!r}")
+        if coarse_solver not in ("lu", "cg"):
+            raise ValueError(f"unknown coarse_solver {coarse_solver!r}")
+        self.smoother = smoother
+        self.smoother_iterations = int(smoother_iterations)
+        self.coarse_solver = coarse_solver
+        self.coarse_iterations = int(coarse_iterations)
+        #: Krylov smoothers / inexact coarse solves are nonlinear:
+        #: the preconditioner is variable
+        self.is_variable = smoother in ("gmres", "cg") or coarse_solver == "cg"
+        self.levels: list[AMGLevel] = []
+        led = ledger.current()
+
+        with led.timer("amg_setup"):
+            ns = nullspace
+            if ns is None:
+                ns = np.ones((a.shape[0], 1), dtype=self.dtype)
+            ns = np.asarray(ns, dtype=self.dtype)
+            if ns.ndim == 1:
+                ns = ns.reshape(-1, 1)
+            bs = block_size
+            current = a
+            for lvl in range(max_levels):
+                diag = np.asarray(current.diagonal())
+                lam = estimate_lambda_max(as_operator(current), diag)
+                self.levels.append(AMGLevel(a=current, p=None, diag=diag,
+                                            lam_max=lam, smoother_state={}))
+                if current.shape[0] <= coarse_size:
+                    break
+                node_mat = _condense_to_nodes(current, bs)
+                sq = 1 if lvl < square_graph else 0
+                graph = strength_graph(node_mat, threshold=threshold, square=sq)
+                agg = greedy_aggregation(graph)
+                n_agg = int(agg.max()) + 1
+                if n_agg * ns.shape[1] >= current.shape[0]:
+                    break  # coarsening stalled
+                t, coarse_ns = tentative_prolongator(agg, ns, block_size=bs)
+                # smoothed prolongator: P = (I - omega D^{-1} A) T
+                dinv = 1.0 / np.where(np.abs(diag) > 0, diag, 1.0)
+                p = t - sp.diags(omega / max(lam, 1e-12) * dinv) @ (current @ t)
+                p = sp.csr_matrix(p)
+                coarse = sp.csr_matrix(p.conj().T @ current @ p)
+                led.flop(Kernel.SPMM, 4.0 * current.nnz * t.shape[1])
+                self.levels[-1].p = p
+                current = coarse
+                ns = coarse_ns
+                bs = ns.shape[1]   # coarse DOFs per aggregate = nvec
+            # coarse solver
+            self._coarse_lu = (SparseLU(self.levels[-1].a, engine="auto")
+                               if coarse_solver == "lu" else None)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def operator_complexity(self) -> float:
+        """sum(nnz over levels) / nnz(fine) — the standard AMG metric."""
+        fine = self.levels[0].a.nnz
+        return sum(l.a.nnz for l in self.levels) / max(fine, 1)
+
+    # ------------------------------------------------------------------
+    def _smooth(self, level: AMGLevel, b: np.ndarray, x: np.ndarray | None
+                ) -> np.ndarray:
+        """One pre/post smoothing application on a level."""
+        its = self.smoother_iterations
+        if self.smoother == "chebyshev":
+            return chebyshev_iteration(
+                as_operator(level.a), level.diag, b, degree=its,
+                lam_min=level.lam_max / 10.0, lam_max=1.1 * level.lam_max,
+                x0=x)
+        if self.smoother == "jacobi":
+            dinv = (0.7 / np.where(np.abs(level.diag) > 0, level.diag, 1.0))
+            xk = np.zeros_like(b) if x is None else x
+            for _ in range(its):
+                xk = xk + dinv[:, None] * (b - level.a @ xk)
+            return xk
+        # Krylov smoothers (variable preconditioning!)
+        from ..krylov.cg import cg as cg_solve
+        from ..krylov.gmres import gmres as gmres_solve
+        from ..util.options import Options
+        opts = Options(tol=1e-25, max_it=its,
+                       gmres_restart=max(its, 1))
+        fn = cg_solve if self.smoother == "cg" else gmres_solve
+        res = fn(level.a, b, options=opts, x0=x)
+        return as_block(res.x)
+
+    def _vcycle(self, lvl: int, b: np.ndarray) -> np.ndarray:
+        level = self.levels[lvl]
+        if lvl == len(self.levels) - 1:
+            if self._coarse_lu is not None:
+                return self._coarse_lu.solve(b)
+            from ..krylov.cg import cg as cg_solve
+            from ..util.options import Options
+            res = cg_solve(level.a, b, options=Options(
+                tol=1e-12, max_it=self.coarse_iterations))
+            return as_block(res.x)
+        x = self._smooth(level, b, None)
+        r = b - level.a @ x
+        ledger.current().flop(Kernel.SPMM, 2.0 * level.a.nnz * b.shape[1])
+        rc = level.p.conj().T @ r
+        xc = self._vcycle(lvl + 1, rc)
+        x = x + level.p @ xc
+        x = self._smooth(level, b, x)
+        return x
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        x = as_block(x).astype(self.dtype, copy=False)
+        ledger.current().event("amg_vcycle", x.shape[1])
+        return self._vcycle(0, x)
+
+    def __repr__(self) -> str:
+        sizes = " -> ".join(str(l.a.shape[0]) for l in self.levels)
+        return (f"SmoothedAggregationAMG(levels={self.n_levels} [{sizes}], "
+                f"smoother={self.smoother!r}, "
+                f"complexity={self.operator_complexity:.2f})")

@@ -1,0 +1,35 @@
+"""PDE problem generators: Poisson, elasticity, heat, Maxwell, partitioning."""
+
+from .elasticity import (PAPER_INCLUSIONS, ElasticityProblem, Inclusion,
+                         elasticity_3d, rigid_body_modes)
+from .heat import ImplicitHeat
+from .maxwell import (MaxwellProblem, antenna_ring_rhs, assemble_maxwell,
+                      chamber_phantom, decompose_maxwell, maxwell_chamber)
+from .partition import OverlappingDecomposition, decompose
+from .poisson import (PAPER_NUS, PoissonProblem, poisson_2d,
+                      poisson_2d_variable)
+from .tetmesh import TetMesh, box_tet_mesh, cylinder_mask
+
+__all__ = [
+    "PoissonProblem",
+    "poisson_2d",
+    "poisson_2d_variable",
+    "PAPER_NUS",
+    "ElasticityProblem",
+    "elasticity_3d",
+    "Inclusion",
+    "PAPER_INCLUSIONS",
+    "rigid_body_modes",
+    "ImplicitHeat",
+    "TetMesh",
+    "box_tet_mesh",
+    "cylinder_mask",
+    "MaxwellProblem",
+    "assemble_maxwell",
+    "maxwell_chamber",
+    "chamber_phantom",
+    "antenna_ring_rhs",
+    "decompose_maxwell",
+    "OverlappingDecomposition",
+    "decompose",
+]

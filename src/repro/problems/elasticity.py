@@ -1,0 +1,207 @@
+"""3-D linear elasticity on the unit cube — PETSc's ex56 analogue (§IV-C).
+
+Displacement formulation ``-div(sigma) = f`` discretized with trilinear
+(Q1) hexahedral elements on a uniform ``ne x ne x ne`` grid, clamped at the
+``z = 0`` face.  The paper's sequence of four *varying* systems comes from
+a small moving spherical inclusion
+
+.. math::  (x - x_i)^2 + (y - y_i)^2 + (z - z_i)^2 < r_i^2
+
+inside which the Young modulus is softened/hardened to ``E / s_i``, with
+the parameter sets (section IV-C):
+
+    s = {30, 0.1, 20, 10},  r = {0.5, 0.45, 0.4, 0.35},
+    x = {0.5, 0.4, 0.4, 0.4}, y = {0.5, 0.5, 0.4, 0.4},
+    z = {0.5, 0.45, 0.4, 0.35}.
+
+Six rigid-body modes are provided as the AMG near-nullspace, mirroring
+``-pc_gamg`` + ``MatNullSpaceCreateRigidBody``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["ElasticityProblem", "elasticity_3d", "PAPER_INCLUSIONS",
+           "Inclusion", "rigid_body_modes"]
+
+
+@dataclass(frozen=True)
+class Inclusion:
+    """Spherical soft/hard inclusion: E -> E / s inside the sphere."""
+
+    s: float
+    r: float
+    x: float
+    y: float
+    z: float
+
+    def contains(self, centroids: np.ndarray) -> np.ndarray:
+        d2 = ((centroids[:, 0] - self.x) ** 2
+              + (centroids[:, 1] - self.y) ** 2
+              + (centroids[:, 2] - self.z) ** 2)
+        return d2 < self.r ** 2
+
+
+#: the paper's four parameter sets (section IV-C)
+PAPER_INCLUSIONS = (
+    Inclusion(s=30.0, r=0.5, x=0.5, y=0.5, z=0.5),
+    Inclusion(s=0.1, r=0.45, x=0.4, y=0.5, z=0.45),
+    Inclusion(s=20.0, r=0.4, x=0.4, y=0.4, z=0.4),
+    Inclusion(s=10.0, r=0.35, x=0.4, y=0.4, z=0.35),
+)
+
+
+def _hex_reference_stiffness(h: float, poisson: float) -> np.ndarray:
+    """24 x 24 Q1 element stiffness for E = 1 on a cube of side ``h``."""
+    # isotropic elasticity matrix (Voigt), E = 1
+    nu = poisson
+    c = 1.0 / ((1 + nu) * (1 - 2 * nu))
+    d = np.zeros((6, 6))
+    d[:3, :3] = nu * c
+    np.fill_diagonal(d[:3, :3], (1 - nu) * c)
+    d[3:, 3:] = np.eye(3) * (1 - 2 * nu) * c / 2.0
+    # 2x2x2 Gauss quadrature on [-1, 1]^3
+    g = 1.0 / np.sqrt(3.0)
+    pts = np.array([[sx * g, sy * g, sz * g]
+                    for sx in (-1, 1) for sy in (-1, 1) for sz in (-1, 1)])
+    # node order: (i, j, k) with x fastest
+    corners = np.array([[sx, sy, sz]
+                        for sz in (-1, 1) for sy in (-1, 1) for sx in (-1, 1)])
+    ke = np.zeros((24, 24))
+    jac = h / 2.0
+    detj = jac ** 3
+    for xi, eta, zeta in pts:
+        dn = np.zeros((8, 3))   # shape gradients in reference coords
+        for a in range(8):
+            sx, sy, sz = corners[a]
+            dn[a, 0] = sx * (1 + sy * eta) * (1 + sz * zeta) / 8.0
+            dn[a, 1] = sy * (1 + sx * xi) * (1 + sz * zeta) / 8.0
+            dn[a, 2] = sz * (1 + sx * xi) * (1 + sy * eta) / 8.0
+        dn = dn / jac           # physical gradients
+        b = np.zeros((6, 24))
+        for a in range(8):
+            bx, by, bz = dn[a]
+            col = 3 * a
+            b[0, col] = bx
+            b[1, col + 1] = by
+            b[2, col + 2] = bz
+            b[3, col] = by
+            b[3, col + 1] = bx
+            b[4, col + 1] = bz
+            b[4, col + 2] = by
+            b[5, col] = bz
+            b[5, col + 2] = bx
+        ke += b.T @ d @ b * detj
+    return ke
+
+
+def rigid_body_modes(points: np.ndarray) -> np.ndarray:
+    """The six rigid-body modes of a 3-D elastic body, one block per node.
+
+    Returns an array of shape (3 * n_nodes, 6): three translations and
+    three infinitesimal rotations about the domain centroid.
+    """
+    pts = np.asarray(points, dtype=float)
+    c = pts.mean(axis=0)
+    x, y, z = (pts - c).T
+    n = pts.shape[0]
+    modes = np.zeros((3 * n, 6))
+    modes[0::3, 0] = 1.0
+    modes[1::3, 1] = 1.0
+    modes[2::3, 2] = 1.0
+    # rotation about x: (0, -z, y); y: (z, 0, -x); z: (-y, x, 0)
+    modes[1::3, 3] = -z
+    modes[2::3, 3] = y
+    modes[0::3, 4] = z
+    modes[2::3, 4] = -x
+    modes[0::3, 5] = -y
+    modes[1::3, 5] = x
+    return modes
+
+
+@dataclass
+class ElasticityProblem:
+    """Assembled elasticity system (Dirichlet DOFs eliminated)."""
+
+    a: sp.csr_matrix
+    rhs_vector: np.ndarray
+    points: np.ndarray              # free-node coordinates (one per node)
+    nullspace: np.ndarray           # rigid-body modes on free DOFs (n x 6)
+    free_dofs: np.ndarray
+    ne: int
+
+    @property
+    def n(self) -> int:
+        return self.a.shape[0]
+
+    @property
+    def block_size(self) -> int:
+        return 3
+
+
+def elasticity_3d(ne: int, *, inclusion: Inclusion | None = None,
+                  young: float = 1.0, poisson: float = 0.3,
+                  body_force: tuple[float, float, float] = (0.0, 0.0, -1.0)
+                  ) -> ElasticityProblem:
+    """Assemble the elasticity system on an ``ne^3``-element unit cube.
+
+    ``inclusion`` softens/hardens the Young modulus inside a sphere —
+    passing the four :data:`PAPER_INCLUSIONS` one at a time generates the
+    paper's sequence of four varying operators.
+    """
+    if ne < 2:
+        raise ValueError("ne must be >= 2")
+    h = 1.0 / ne
+    nn = ne + 1
+    # node (i, j, k) -> index with x fastest
+    node_id = lambda i, j, k: i + nn * (j + nn * k)  # noqa: E731
+    coords = np.array([[i * h, j * h, k * h]
+                       for k in range(nn) for j in range(nn) for i in range(nn)])
+
+    ke_ref = _hex_reference_stiffness(h, poisson)
+
+    # per-element Young modulus
+    cell_ids = np.array([(i, j, k)
+                         for k in range(ne) for j in range(ne) for i in range(ne)])
+    centroids = (cell_ids + 0.5) * h
+    e_vals = np.full(len(cell_ids), young)
+    if inclusion is not None:
+        e_vals[inclusion.contains(centroids)] = young / inclusion.s
+
+    # element -> 24 global DOFs
+    n_elem = len(cell_ids)
+    conn = np.empty((n_elem, 8), dtype=np.int64)
+    for e, (i, j, k) in enumerate(cell_ids):
+        conn[e] = [node_id(i + di, j + dj, k + dk)
+                   for dk in (0, 1) for dj in (0, 1) for di in (0, 1)]
+    dofs = (3 * conn[:, :, None] + np.arange(3)[None, None, :]).reshape(n_elem, 24)
+
+    rows = np.repeat(dofs, 24, axis=1).ravel()
+    cols = np.tile(dofs, (1, 24)).ravel()
+    vals = (e_vals[:, None] * ke_ref.ravel()[None, :]).ravel()
+    ndof = 3 * nn ** 3
+    k_full = sp.csr_matrix((vals, (rows, cols)), shape=(ndof, ndof))
+
+    # clamp the z = 0 face
+    fixed_nodes = np.nonzero(coords[:, 2] == 0.0)[0]
+    fixed = (3 * fixed_nodes[:, None] + np.arange(3)).ravel()
+    free = np.setdiff1d(np.arange(ndof), fixed)
+    a = sp.csr_matrix(k_full[free][:, free])
+
+    # lumped body force
+    f_full = np.zeros(ndof)
+    lump = h ** 3
+    counts = np.bincount(conn.ravel(), minlength=nn ** 3) / 8.0
+    for c_ax in range(3):
+        f_full[c_ax::3] = body_force[c_ax] * lump * counts
+    rhs = f_full[free]
+
+    free_nodes = np.unique(free // 3)
+    ns_full = rigid_body_modes(coords)
+    nullspace = ns_full[free]
+    return ElasticityProblem(a=a, rhs_vector=rhs, points=coords[free_nodes],
+                             nullspace=nullspace, free_dofs=free, ne=ne)

@@ -1,0 +1,154 @@
+"""2-D Poisson problem — the analogue of PETSc's ex32 (paper section IV-B).
+
+``-Delta u = f`` on the unit square, five-point finite differences on a
+Cartesian grid, homogeneous Dirichlet boundary.  The right-hand side family
+is the paper's:
+
+.. math::
+
+    f_i(x, y) = \\frac{1}{\\nu_i}
+                e^{-(1-x)^2/\\nu_i} e^{-(1-y)^2/\\nu_i},
+    \\qquad \\{\\nu_i\\} = \\{0.1, 10, 0.001, 100\\}
+
+— four successive right-hand sides over one fixed operator, "like one
+would have to do when solving a time-dependent problem".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["PoissonProblem", "poisson_2d", "poisson_2d_variable", "PAPER_NUS"]
+
+#: the paper's RHS parameters
+PAPER_NUS = (0.1, 10.0, 0.001, 100.0)
+
+
+@dataclass
+class PoissonProblem:
+    """Assembled 2-D Poisson problem.
+
+    Attributes
+    ----------
+    a:
+        the five-point stencil matrix (SPD, scaled by 1/h^2).
+    points:
+        interior grid point coordinates, shape (n, 2).
+    nx, ny:
+        interior grid dimensions (n = nx * ny).
+    """
+
+    a: sp.csr_matrix
+    points: np.ndarray
+    nx: int
+    ny: int
+
+    @property
+    def n(self) -> int:
+        return self.a.shape[0]
+
+    def rhs(self, nu: float) -> np.ndarray:
+        """One column of the paper's RHS family."""
+        x, y = self.points[:, 0], self.points[:, 1]
+        return (np.exp(-(1 - x) ** 2 / nu) * np.exp(-(1 - y) ** 2 / nu)) / nu
+
+    def rhs_sequence(self, nus=PAPER_NUS) -> list[np.ndarray]:
+        """The four successive right-hand sides of section IV-B."""
+        return [self.rhs(nu) for nu in nus]
+
+    def rhs_block(self, nus=PAPER_NUS) -> np.ndarray:
+        """The same family as an n x p block (for block methods)."""
+        return np.column_stack(self.rhs_sequence(nus))
+
+
+def poisson_2d(nx: int, ny: int | None = None) -> PoissonProblem:
+    """Assemble the five-point Poisson matrix on an ``nx x ny`` interior grid.
+
+    >>> prob = poisson_2d(4)
+    >>> prob.a.shape
+    (16, 16)
+    >>> round(float(prob.a[0, 0]), 6)  # 4 / h^2 with h = 1/5
+    100.0
+    """
+    ny = ny or nx
+    hx = 1.0 / (nx + 1)
+    hy = 1.0 / (ny + 1)
+    tx = sp.diags([-np.ones(nx - 1), 2.0 * np.ones(nx), -np.ones(nx - 1)],
+                  [-1, 0, 1]) / hx**2
+    ty = sp.diags([-np.ones(ny - 1), 2.0 * np.ones(ny), -np.ones(ny - 1)],
+                  [-1, 0, 1]) / hy**2
+    a = sp.kron(sp.eye(ny), tx) + sp.kron(ty, sp.eye(nx))
+    xs = (np.arange(nx) + 1) * hx
+    ys = (np.arange(ny) + 1) * hy
+    gx, gy = np.meshgrid(xs, ys)
+    points = np.column_stack([gx.ravel(), gy.ravel()])
+    return PoissonProblem(a=sp.csr_matrix(a), points=points, nx=nx, ny=ny)
+
+
+def poisson_2d_variable(nx: int, coefficient, ny: int | None = None
+                        ) -> PoissonProblem:
+    """Variable-coefficient Poisson: ``-div(c(x, y) grad u) = f``.
+
+    Finite volumes with harmonic averaging of ``c`` on cell edges — the
+    standard discretization for discontinuous coefficients (high-contrast
+    inclusions/channels), which is what makes AMG leave slow modes behind
+    and recycling pay off (cf. EXPERIMENTS.md).
+
+    Parameters
+    ----------
+    nx, ny:
+        interior grid dimensions.
+    coefficient:
+        callable ``c(x, y) -> float`` evaluated at grid points (vectorized
+        over arrays), or an ``(nx+2) x (ny+2)`` array on the padded grid.
+
+    >>> prob = poisson_2d_variable(4, lambda x, y: 1.0)
+    >>> ref = poisson_2d(4)
+    >>> bool(abs(prob.a - ref.a).max() < 1e-10)
+    True
+    """
+    ny = ny or nx
+    hx = 1.0 / (nx + 1)
+    hy = 1.0 / (ny + 1)
+    xs = np.arange(nx + 2) * hx
+    ys = np.arange(ny + 2) * hy
+    gx, gy = np.meshgrid(xs, ys, indexing="ij")
+    if callable(coefficient):
+        c = np.asarray(coefficient(gx, gy), dtype=float)
+        c = np.broadcast_to(c, gx.shape).copy()
+    else:
+        c = np.asarray(coefficient, dtype=float)
+        if c.shape != (nx + 2, ny + 2):
+            raise ValueError(f"coefficient array must be {(nx + 2, ny + 2)}, "
+                             f"got {c.shape}")
+    if np.any(c <= 0):
+        raise ValueError("the diffusion coefficient must be positive")
+
+    def harmonic(a, b):
+        return 2.0 * a * b / (a + b)
+
+    idx = lambda i, j: (j - 1) * nx + (i - 1)  # noqa: E731
+    rows, cols, vals = [], [], []
+    for j in range(1, ny + 1):
+        for i in range(1, nx + 1):
+            k = idx(i, j)
+            diag = 0.0
+            for di, dj, h2 in ((1, 0, hx**2), (-1, 0, hx**2),
+                               (0, 1, hy**2), (0, -1, hy**2)):
+                w = harmonic(c[i, j], c[i + di, j + dj]) / h2
+                diag += w
+                ii, jj = i + di, j + dj
+                if 1 <= ii <= nx and 1 <= jj <= ny:
+                    rows.append(k)
+                    cols.append(idx(ii, jj))
+                    vals.append(-w)
+            rows.append(k)
+            cols.append(k)
+            vals.append(diag)
+    a = sp.csr_matrix((vals, (rows, cols)), shape=(nx * ny, nx * ny))
+    points = np.column_stack([gx[1:-1, 1:-1].ravel(order="F"),
+                              gy[1:-1, 1:-1].ravel(order="F")])
+    return PoissonProblem(a=a, points=points, nx=nx, ny=ny)

@@ -1,0 +1,15 @@
+"""Simulated MPI: virtual process grids, collectives, halo exchange."""
+
+from .collectives import allgather_rows, allreduce_sum, dot_columns, norm_columns
+from .grid import VirtualGrid
+from .halo import HaloPlan, build_halo_plans
+
+__all__ = [
+    "VirtualGrid",
+    "HaloPlan",
+    "build_halo_plans",
+    "allreduce_sum",
+    "allgather_rows",
+    "dot_columns",
+    "norm_columns",
+]

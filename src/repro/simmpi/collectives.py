@@ -1,0 +1,66 @@
+"""Collective operations over a virtual grid.
+
+Each collective computes its result exactly (the data all lives in one
+address space) *and* charges the active cost ledger with what a real MPI
+implementation would pay: one logical "reduction" event per collective —
+the performance model expands that into ``2 log2(P)`` latency hops plus the
+bandwidth term.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util import ledger
+from .grid import VirtualGrid
+
+__all__ = ["allreduce_sum", "allgather_rows", "dot_columns", "norm_columns"]
+
+
+def allreduce_sum(grid: VirtualGrid, contributions: list[np.ndarray]) -> np.ndarray:
+    """Sum per-rank contributions; one global reduction of the payload size.
+
+    ``contributions`` holds one array per rank (all the same shape).
+    """
+    if len(contributions) != grid.nranks:
+        raise ValueError(f"expected {grid.nranks} contributions, got {len(contributions)}")
+    out = np.zeros_like(contributions[0])
+    for c in contributions:
+        out += c
+    ledger.current().reduction(nbytes=out.nbytes)
+    return out
+
+
+def allgather_rows(grid: VirtualGrid, locals_: list[np.ndarray]) -> np.ndarray:
+    """Concatenate per-rank row blocks; costs ``P-1`` messages per rank.
+
+    The ledger records the aggregate traffic of a ring allgather (each rank
+    receives everyone else's block once).
+    """
+    if len(locals_) != grid.nranks:
+        raise ValueError(f"expected {grid.nranks} blocks, got {len(locals_)}")
+    out = np.concatenate(locals_, axis=0)
+    p = grid.nranks
+    if p > 1:
+        ledger.current().p2p(messages=p * (p - 1),
+                             nbytes=(p - 1) * out.nbytes)
+    return out
+
+
+def dot_columns(grid: VirtualGrid, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Column-wise inner products computed rank-by-rank then all-reduced."""
+    parts = []
+    for r in range(grid.nranks):
+        rows = grid.rows(r)
+        parts.append(np.einsum("ij,ij->j", x[rows].conj(), y[rows]))
+    return allreduce_sum(grid, parts)
+
+
+def norm_columns(grid: VirtualGrid, x: np.ndarray) -> np.ndarray:
+    """Column 2-norms via one all-reduce of the squared partial sums."""
+    parts = []
+    for r in range(grid.nranks):
+        rows = grid.rows(r)
+        xr = x[rows]
+        parts.append(np.einsum("ij,ij->j", xr.conj(), xr).real)
+    return np.sqrt(allreduce_sum(grid, parts))

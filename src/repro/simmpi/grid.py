@@ -1,0 +1,89 @@
+"""Virtual process grid: the rank/ownership layer of the simulated MPI.
+
+A :class:`VirtualGrid` partitions ``n`` global row indices over ``P``
+virtual ranks (contiguous balanced blocks by default, or a caller-supplied
+partition from the mesh decomposer).  Every distributed structure in
+:mod:`repro.distla` is built on top of one, and every communication
+primitive reports to the active :class:`~repro.util.ledger.CostLedger` with
+the counts a real MPI run over this grid would incur.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["VirtualGrid"]
+
+
+class VirtualGrid:
+    """Ownership map of ``n`` global indices over ``P`` virtual ranks.
+
+    Parameters
+    ----------
+    n:
+        global problem size.
+    nranks:
+        number of virtual MPI processes.
+    offsets:
+        optional explicit partition: array of length ``P + 1`` with
+        ``offsets[r] .. offsets[r+1]`` owned by rank ``r``.  Defaults to a
+        balanced contiguous split.
+    """
+
+    def __init__(self, n: int, nranks: int, *, offsets: np.ndarray | None = None):
+        if nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        if n < nranks:
+            raise ValueError(f"cannot split {n} rows over {nranks} ranks")
+        self.n = int(n)
+        self.nranks = int(nranks)
+        if offsets is None:
+            offsets = np.linspace(0, n, nranks + 1).astype(np.int64)
+        else:
+            offsets = np.asarray(offsets, dtype=np.int64)
+            if offsets.shape != (nranks + 1,):
+                raise ValueError(f"offsets must have length {nranks + 1}")
+            if offsets[0] != 0 or offsets[-1] != n:
+                raise ValueError("offsets must start at 0 and end at n")
+            if np.any(np.diff(offsets) <= 0):
+                raise ValueError("every rank must own at least one row")
+        self.offsets = offsets
+
+    # ------------------------------------------------------------------
+    def owner(self, index: int | np.ndarray) -> np.ndarray | int:
+        """Rank(s) owning the given global index/indices."""
+        result = np.searchsorted(self.offsets, index, side="right") - 1
+        return result
+
+    def rows(self, rank: int) -> slice:
+        """Slice of global rows owned by ``rank``."""
+        if not 0 <= rank < self.nranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.nranks})")
+        return slice(int(self.offsets[rank]), int(self.offsets[rank + 1]))
+
+    def local_size(self, rank: int) -> int:
+        return int(self.offsets[rank + 1] - self.offsets[rank])
+
+    def local_sizes(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    @property
+    def max_local_size(self) -> int:
+        return int(self.local_sizes().max())
+
+    def reduction_hops(self) -> int:
+        """Latency hops of a tree all-reduce: ``2 * ceil(log2 P)``."""
+        if self.nranks == 1:
+            return 0
+        return 2 * int(np.ceil(np.log2(self.nranks)))
+
+    def __repr__(self) -> str:
+        return f"VirtualGrid(n={self.n}, nranks={self.nranks})"
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, VirtualGrid) and self.n == other.n
+                and self.nranks == other.nranks
+                and np.array_equal(self.offsets, other.offsets))
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.nranks, self.offsets.tobytes()))

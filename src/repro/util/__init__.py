@@ -1,0 +1,6 @@
+"""Shared utilities: options, cost ledger, misc helpers."""
+
+from . import ledger
+from .options import OptionError, Options, parse_hpddm_args
+
+__all__ = ["Options", "OptionError", "parse_hpddm_args", "ledger"]

@@ -1,0 +1,186 @@
+"""Cost ledger: the accounting backbone of the simulated-MPI substrate.
+
+The scalability arguments of the paper are *counting* arguments — e.g. a
+GCRO-DR cycle costs ``2(m-k)`` global reductions where a GMRES cycle costs
+``m`` (section III-D).  Every distributed primitive in :mod:`repro.simmpi`,
+:mod:`repro.distla` and every kernel in the solvers reports to the ledger,
+so benchmarks can verify those counts exactly and the performance model in
+:mod:`repro.perfmodel` can convert them into modeled wall-clock times for a
+target machine.
+
+A ledger is installed with a context manager and consulted through the
+module-level :func:`current` accessor; a process-wide null ledger swallows
+events when none is installed so instrumentation costs almost nothing in
+the serial fast path.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["CostLedger", "current", "install", "Kernel"]
+
+
+class Kernel:
+    """Canonical kernel names used for flop accounting.
+
+    Grouping by arithmetic intensity matters: the machine model assigns
+    memory-bound kernels (SpMV, BLAS-2 triangular solves) a much lower
+    effective flop rate than compute-bound BLAS-3 kernels, which is exactly
+    the effect exploited by (pseudo-)block methods in the paper (Fig. 6).
+    """
+
+    SPMV = "spmv"              # sparse matrix x vector (memory bound)
+    SPMM = "spmm"              # sparse matrix x dense block (higher intensity)
+    BLAS1 = "blas1"            # axpy / dot
+    BLAS2 = "blas2"            # gemv, single-RHS triangular solve
+    BLAS3 = "blas3"            # gemm, blocked triangular solve
+    FACTORIZATION = "factorization"
+    PRECOND = "precond"
+    EIG = "eig"                # small dense (redundant) eigenproblems
+    QR = "qr"                  # small dense (redundant) QR
+
+
+@dataclass
+class CostLedger:
+    """Accumulates communication and computation events.
+
+    Attributes
+    ----------
+    reductions:
+        number of global all-reduce style synchronizations (each costs
+        ``log2(P)`` latency-bound hops on a tree).
+    reduction_bytes:
+        payload carried by those reductions.
+    p2p_messages / p2p_bytes:
+        point-to-point (halo exchange) traffic.
+    flops:
+        Counter keyed by :class:`Kernel` name.
+    calls:
+        Counter of high-level events (operator applications, preconditioner
+        applications, restarts, ...).
+    """
+
+    reductions: int = 0
+    reduction_bytes: int = 0
+    p2p_messages: int = 0
+    p2p_bytes: int = 0
+    flops: Counter = field(default_factory=Counter)
+    calls: Counter = field(default_factory=Counter)
+    timers: dict[str, float] = field(default_factory=dict)
+
+    # -- communication ----------------------------------------------------
+    def reduction(self, nbytes: int = 8, count: int = 1) -> None:
+        self.reductions += count
+        self.reduction_bytes += nbytes * count
+
+    def p2p(self, messages: int, nbytes: int) -> None:
+        self.p2p_messages += messages
+        self.p2p_bytes += nbytes
+
+    # -- computation -------------------------------------------------------
+    def flop(self, kernel: str, count: float) -> None:
+        self.flops[kernel] += count
+
+    def event(self, name: str, count: int = 1) -> None:
+        self.calls[name] += count
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timers[name] = self.timers.get(name, 0.0) + time.perf_counter() - t0
+
+    # -- arithmetic --------------------------------------------------------
+    def snapshot(self) -> "CostLedger":
+        """Deep-ish copy for before/after diffing."""
+        out = CostLedger(
+            reductions=self.reductions,
+            reduction_bytes=self.reduction_bytes,
+            p2p_messages=self.p2p_messages,
+            p2p_bytes=self.p2p_bytes,
+        )
+        out.flops = Counter(self.flops)
+        out.calls = Counter(self.calls)
+        out.timers = dict(self.timers)
+        return out
+
+    def diff(self, before: "CostLedger") -> "CostLedger":
+        """Return the events accumulated since ``before`` (a snapshot)."""
+        out = CostLedger(
+            reductions=self.reductions - before.reductions,
+            reduction_bytes=self.reduction_bytes - before.reduction_bytes,
+            p2p_messages=self.p2p_messages - before.p2p_messages,
+            p2p_bytes=self.p2p_bytes - before.p2p_bytes,
+        )
+        out.flops = Counter(self.flops)
+        out.flops.subtract(before.flops)
+        out.calls = Counter(self.calls)
+        out.calls.subtract(before.calls)
+        out.timers = {
+            k: self.timers.get(k, 0.0) - before.timers.get(k, 0.0)
+            for k in set(self.timers) | set(before.timers)
+        }
+        return out
+
+    def total_flops(self) -> float:
+        return float(sum(self.flops.values()))
+
+    def summary(self) -> str:
+        lines = [
+            f"reductions      : {self.reductions} ({self.reduction_bytes} B)",
+            f"p2p messages    : {self.p2p_messages} ({self.p2p_bytes} B)",
+        ]
+        for k in sorted(self.flops):
+            lines.append(f"flops[{k:<13}]: {self.flops[k]:.3e}")
+        for k in sorted(self.calls):
+            lines.append(f"calls[{k:<13}]: {self.calls[k]}")
+        return "\n".join(lines)
+
+
+class _NullLedger(CostLedger):
+    """Sink that ignores everything — installed when no ledger is active."""
+
+    def reduction(self, nbytes: int = 8, count: int = 1) -> None:  # noqa: D102
+        pass
+
+    def p2p(self, messages: int, nbytes: int) -> None:  # noqa: D102
+        pass
+
+    def flop(self, kernel: str, count: float) -> None:  # noqa: D102
+        pass
+
+    def event(self, name: str, count: int = 1) -> None:  # noqa: D102
+        pass
+
+
+_NULL = _NullLedger()
+_STACK: list[CostLedger] = []
+
+
+def current() -> CostLedger:
+    """Return the innermost installed ledger (or a null sink)."""
+    return _STACK[-1] if _STACK else _NULL
+
+
+@contextmanager
+def install(ledger: CostLedger | None = None) -> Iterator[CostLedger]:
+    """Install ``ledger`` (or a fresh one) as the active cost ledger.
+
+    >>> with install() as led:
+    ...     current().reduction()
+    >>> led.reductions
+    1
+    """
+    led = ledger if ledger is not None else CostLedger()
+    _STACK.append(led)
+    try:
+        yield led
+    finally:
+        _STACK.pop()

@@ -1,0 +1,67 @@
+"""Small shared helpers: shaping, dtype promotion, norms, RNG discipline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "as_block",
+    "column_norms",
+    "result_dtype",
+    "is_complex_dtype",
+    "default_rng",
+    "relative_residual_norms",
+]
+
+
+def as_block(x: np.ndarray, *, copy: bool = False) -> np.ndarray:
+    """Return ``x`` as a 2-D ``n x p`` block (a vector becomes ``n x 1``).
+
+    The solver stack works exclusively on tall-skinny blocks so single- and
+    multiple-RHS code paths are uniform ("pseudo-block" fusion falls out of
+    operating on whole blocks at once).
+    """
+    arr = np.array(x, copy=True) if copy else np.asarray(x)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    elif arr.ndim != 2:
+        raise ValueError(f"expected a vector or an n x p block, got ndim={arr.ndim}")
+    return arr
+
+
+def column_norms(x: np.ndarray) -> np.ndarray:
+    """2-norm of every column, computed in one fused pass (one 'reduction')."""
+    x = as_block(x)
+    return np.sqrt(np.einsum("ij,ij->j", x.real, x.real) + (
+        np.einsum("ij,ij->j", x.imag, x.imag) if np.iscomplexobj(x) else 0.0
+    ))
+
+
+def result_dtype(*arrays: np.ndarray | np.dtype | type) -> np.dtype:
+    """Common floating dtype of the operands (at least float64)."""
+    dtypes = []
+    for a in arrays:
+        if isinstance(a, np.ndarray):
+            dtypes.append(a.dtype)
+        else:
+            dtypes.append(np.dtype(a))
+    return np.promote_types(np.result_type(*dtypes), np.float64)
+
+
+def is_complex_dtype(dtype: np.dtype | type) -> bool:
+    return np.issubdtype(np.dtype(dtype), np.complexfloating)
+
+
+def default_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Normalize a seed-or-generator argument to a Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def relative_residual_norms(r: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Per-column ||r_j|| / ||b_j|| with a safe fallback for zero columns."""
+    nb = column_norms(b)
+    nr = column_norms(r)
+    safe = np.where(nb > 0.0, nb, 1.0)
+    return nr / safe

@@ -1,0 +1,47 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+
+def laplacian_1d(n: int, shift: float = 0.0) -> sp.csr_matrix:
+    """1-D Dirichlet Laplacian (SPD, smallest eigenvalues cluster at 0)."""
+    a = sp.diags([-np.ones(n - 1), (2.0 + shift) * np.ones(n), -np.ones(n - 1)],
+                 [-1, 0, 1])
+    return a.tocsr()
+
+
+def laplacian_2d(nx: int, ny: int | None = None) -> sp.csr_matrix:
+    """2-D five-point Laplacian on an nx x ny grid."""
+    ny = ny or nx
+    ix = sp.eye(nx)
+    iy = sp.eye(ny)
+    tx = laplacian_1d(nx)
+    ty = laplacian_1d(ny)
+    return (sp.kron(iy, tx) + sp.kron(ty, ix)).tocsr()
+
+
+def convection_diffusion_1d(n: int, wind: float = 0.4) -> sp.csr_matrix:
+    """Nonsymmetric tridiagonal model problem (diagonally dominant)."""
+    lo = (-1.0 - wind) * np.ones(n - 1)
+    hi = (-1.0 + wind) * np.ones(n - 1)
+    return sp.diags([lo, 4.0 * np.ones(n), hi], [-1, 0, 1]).tocsr()
+
+
+def complex_shifted(n: int, sigma: complex = 0.4j) -> sp.csr_matrix:
+    """Complex-symmetric shifted Laplacian (mini Helmholtz/Maxwell stand-in)."""
+    return (laplacian_1d(n) + sigma * sp.eye(n)).astype(np.complex128).tocsr()
+
+
+def relative_residuals(a, x, b) -> np.ndarray:
+    x = np.atleast_2d(x.T).T
+    b = np.atleast_2d(b.T).T
+    return np.linalg.norm(b - a @ x, axis=0) / np.linalg.norm(b, axis=0)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20260705)

@@ -1,0 +1,289 @@
+"""Tests for the sparse direct solver substrate (orderings, LU, solves)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.direct.numeric import gilbert_peierls_lu
+from repro.direct.ordering import (compute_ordering, minimum_degree,
+                                   reverse_cuthill_mckee)
+from repro.direct.solver import SparseLU
+from repro.direct.triangular import LevelSchedule, TriangularFactor
+from repro.util import ledger
+from repro.util.ledger import Kernel
+
+from conftest import complex_shifted, laplacian_1d, laplacian_2d
+
+
+def _random_sparse(rng, n, density=0.05, complex_=False):
+    a = sp.random(n, n, density=density, random_state=int(rng.integers(2**31)))
+    a = a + sp.diags(n / 2.0 + np.arange(n, dtype=float))
+    if complex_:
+        b = sp.random(n, n, density=density, random_state=int(rng.integers(2**31)))
+        a = a + 1j * b
+    return sp.csc_matrix(a)
+
+
+class TestOrderings:
+    @pytest.mark.parametrize("method", ["natural", "rcm", "amd"])
+    def test_is_a_permutation(self, rng, method):
+        a = laplacian_2d(8)
+        perm = compute_ordering(a, method)
+        assert sorted(perm.tolist()) == list(range(a.shape[0]))
+
+    def test_amd_reduces_fill_vs_natural(self):
+        a = laplacian_2d(15)
+        fills = {}
+        for method in ("natural", "amd"):
+            lu = SparseLU(a, engine="gp", ordering=method)
+            fills[method] = lu.factor_nnz
+        assert fills["amd"] < fills["natural"]
+
+    def test_rcm_reduces_bandwidth(self, rng):
+        # random permutation of a banded matrix: RCM should recover low bandwidth
+        n = 60
+        a = laplacian_1d(n)
+        p = rng.permutation(n)
+        ap = sp.csr_matrix(a[p][:, p])
+        perm = reverse_cuthill_mckee(ap)
+        reord = ap[perm][:, perm].tocoo()
+        bw = np.max(np.abs(reord.row - reord.col))
+        assert bw <= 5
+
+    def test_rcm_handles_disconnected_graph(self):
+        a = sp.block_diag([laplacian_1d(10), laplacian_1d(7)]).tocsr()
+        perm = reverse_cuthill_mckee(a)
+        assert sorted(perm.tolist()) == list(range(17))
+
+    def test_minimum_degree_on_star(self):
+        # star graph: centre must be eliminated last
+        n = 12
+        rows = [0] * (n - 1) + list(range(1, n)) + list(range(n))
+        cols = list(range(1, n)) + [0] * (n - 1) + list(range(n))
+        a = sp.csr_matrix((np.ones(len(rows)), (rows, cols)), shape=(n, n))
+        perm = minimum_degree(a)
+        assert perm[-1] == 0 or perm[0] != 0  # centre not eliminated first
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            compute_ordering(laplacian_1d(5), "colamd")
+
+
+class TestGilbertPeierls:
+    def test_factorization_identity(self, rng):
+        a = _random_sparse(rng, 80)
+        f = gilbert_peierls_lu(a)
+        lhs = (f.l @ f.u).toarray()
+        rhs = a.toarray()[f.perm_r][:, f.perm_c]
+        assert np.allclose(lhs, rhs, atol=1e-10)
+
+    def test_l_unit_lower_u_upper(self, rng):
+        a = _random_sparse(rng, 50)
+        f = gilbert_peierls_lu(a)
+        l, u = f.l.toarray(), f.u.toarray()
+        assert np.allclose(np.triu(l, 1), 0)
+        assert np.allclose(np.diag(l), 1)
+        assert np.allclose(np.tril(u, -1), 0)
+
+    def test_matches_dense_lu_without_pivoting_need(self, rng):
+        import scipy.linalg as sla
+        n = 12
+        ad = rng.standard_normal((n, n)) + np.diag([10.0] * n)
+        f = gilbert_peierls_lu(sp.csc_matrix(ad))
+        p, l, u = sla.lu(ad)
+        if np.allclose(p, np.eye(n)):
+            assert np.allclose(f.l.toarray(), l, atol=1e-10)
+            assert np.allclose(f.u.toarray(), u, atol=1e-10)
+
+    def test_pivoting_handles_zero_diagonal(self):
+        a = sp.csc_matrix(np.array([[0.0, 2.0], [3.0, 1.0]]))
+        f = gilbert_peierls_lu(a)
+        lhs = (f.l @ f.u).toarray()
+        rhs = a.toarray()[f.perm_r][:, f.perm_c]
+        assert np.allclose(lhs, rhs)
+
+    def test_singular_matrix_raises(self):
+        a = sp.csc_matrix(np.array([[1.0, 2.0], [2.0, 4.0]]))
+        with pytest.raises(np.linalg.LinAlgError):
+            gilbert_peierls_lu(a)
+
+    def test_complex_factorization(self, rng):
+        a = _random_sparse(rng, 40, complex_=True)
+        f = gilbert_peierls_lu(a)
+        lhs = (f.l @ f.u).toarray()
+        rhs = a.toarray()[f.perm_r][:, f.perm_c]
+        assert np.allclose(lhs, rhs, atol=1e-10)
+
+    def test_flops_accounted(self, rng):
+        a = _random_sparse(rng, 40)
+        with ledger.install() as led:
+            gilbert_peierls_lu(a)
+        assert led.flops[Kernel.FACTORIZATION] > 0
+        assert led.calls["lu_factorization"] == 1
+
+
+class TestLevelSchedule:
+    def test_diagonal_matrix_single_level(self):
+        sched = LevelSchedule(sp.csr_matrix(sp.diags(np.ones(10)) * 0))
+        assert sched.n_levels == 1
+        assert len(sched.rows_by_level[0]) == 10
+
+    def test_bidiagonal_fully_sequential(self):
+        n = 8
+        strict = sp.diags(np.ones(n - 1), -1).tocsr()
+        sched = LevelSchedule(strict)
+        assert sched.n_levels == n
+
+    def test_levels_respect_dependencies(self, rng):
+        a = sp.tril(_random_sparse(rng, 60), k=-1).tocsr()
+        sched = LevelSchedule(a)
+        level = sched.level_of_row
+        coo = a.tocoo()
+        for i, j in zip(coo.row, coo.col):
+            assert level[i] > level[j]
+
+
+class TestTriangularFactor:
+    @pytest.mark.parametrize("lower", [True, False])
+    def test_matches_scipy(self, rng, lower):
+        n = 80
+        m = sp.random(n, n, density=0.1, random_state=7)
+        m = sp.tril(m, -1) if lower else sp.triu(m, 1)
+        m = (m + sp.diags(2.0 + np.arange(n, dtype=float))).tocsr()
+        tri = TriangularFactor(m, lower=lower)
+        b = rng.standard_normal((n, 3))
+        x = tri.solve(b)
+        x_ref = spla.spsolve_triangular(m.tocsr(), b, lower=lower)
+        assert np.allclose(x, x_ref, atol=1e-9)
+
+    def test_unit_diagonal(self, rng):
+        n = 40
+        strict = sp.tril(sp.random(n, n, density=0.2, random_state=3), -1)
+        m = (strict + sp.eye(n)).tocsr()
+        tri = TriangularFactor(m, lower=True, unit_diagonal=True)
+        b = rng.standard_normal(n).reshape(-1, 1)
+        assert np.allclose(m @ tri.solve(b), b, atol=1e-10)
+
+    def test_singular_rejected(self):
+        m = sp.csr_matrix(np.array([[1.0, 0.0], [5.0, 0.0]]))
+        with pytest.raises(np.linalg.LinAlgError):
+            TriangularFactor(m, lower=True)
+
+    def test_multirhs_matches_looped(self, rng):
+        n = 60
+        m = (sp.tril(sp.random(n, n, density=0.15, random_state=5), -1)
+             + sp.diags(1.0 + np.arange(n, dtype=float))).tocsr()
+        tri = TriangularFactor(m, lower=True)
+        b = rng.standard_normal((n, 5))
+        block = tri.solve(b)
+        looped = np.column_stack([tri.solve(b[:, j:j + 1])[:, 0]
+                                  for j in range(5)])
+        assert np.allclose(block, looped, atol=1e-12)
+
+    def test_blas3_classification(self, rng):
+        n = 30
+        m = (sp.tril(sp.random(n, n, density=0.2, random_state=2), -1)
+             + sp.eye(n)).tocsr()
+        tri = TriangularFactor(m, lower=True, unit_diagonal=True)
+        with ledger.install() as led:
+            tri.solve(rng.standard_normal((n, 1)))
+        assert led.flops[Kernel.BLAS2] > 0
+        with ledger.install() as led:
+            tri.solve(rng.standard_normal((n, 8)))
+        assert led.flops[Kernel.BLAS3] > 0
+
+
+class TestSparseLU:
+    @pytest.mark.parametrize("engine", ["gp", "scipy"])
+    def test_solves_exactly(self, rng, engine):
+        a = _random_sparse(rng, 120)
+        lu = SparseLU(a, engine=engine)
+        b = rng.standard_normal((120, 4))
+        x = lu.solve(b)
+        assert np.allclose(a @ x, b, atol=1e-8)
+
+    @pytest.mark.parametrize("engine", ["gp", "scipy"])
+    def test_complex(self, rng, engine):
+        a = complex_shifted(90).tocsc()
+        lu = SparseLU(a, engine=engine)
+        b = rng.standard_normal(90) + 1j * rng.standard_normal(90)
+        x = lu.solve(b)
+        assert np.allclose(a @ x, b, atol=1e-8)
+        assert x.shape == (90,)
+
+    def test_auto_engine_selection(self):
+        small = SparseLU(laplacian_1d(100))
+        assert small.engine == "gp"
+        big = SparseLU(laplacian_2d(45))  # 2025 unknowns
+        assert big.engine == "scipy"
+
+    def test_factor_once_solve_many(self, rng):
+        a = laplacian_2d(12)
+        n = a.shape[0]
+        lu = SparseLU(a, engine="gp")
+        for _ in range(3):
+            b = rng.standard_normal(n)
+            assert np.allclose(a @ lu.solve(b), b, atol=1e-8)
+
+    def test_as_preconditioner_gives_one_iteration(self, rng):
+        from repro import Options, solve
+        a = laplacian_2d(10)
+        lu = SparseLU(a, engine="gp")
+        b = rng.standard_normal(a.shape[0])
+        res = solve(a, b, lu.as_preconditioner(),
+                    options=Options(tol=1e-10, variant="right"))
+        assert res.converged.all()
+        assert res.iterations <= 2
+
+    def test_multirhs_cheaper_per_rhs(self, rng):
+        """The measured Fig. 6 effect: blocked solves amortize the sweep."""
+        import time
+        a = laplacian_2d(40)  # 1600 unknowns
+        lu = SparseLU(a, engine="scipy")
+        n = a.shape[0]
+        b1 = rng.standard_normal((n, 1))
+        b32 = rng.standard_normal((n, 32))
+        lu.solve(b1)  # warm up
+        t0 = time.perf_counter()
+        for _ in range(3):
+            lu.solve(b1)
+        t1 = (time.perf_counter() - t0) / 3
+        t0 = time.perf_counter()
+        for _ in range(3):
+            lu.solve(b32)
+        t32 = (time.perf_counter() - t0) / 3
+        # 32 fused RHSs must cost far less than 32 single solves
+        assert t32 < 16 * t1
+
+    def test_wrong_rhs_size(self):
+        lu = SparseLU(laplacian_1d(10))
+        with pytest.raises(ValueError):
+            lu.solve(np.ones(11))
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError):
+            SparseLU(sp.random(4, 5, density=0.5))
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError):
+            SparseLU(laplacian_1d(10), engine="pardiso")
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(5, 60), seed=st.integers(0, 2**31 - 1),
+       complex_=st.booleans())
+def test_property_lu_roundtrip(n, seed, complex_):
+    rng = np.random.default_rng(seed)
+    a = sp.random(n, n, density=min(1.0, 10 / n), random_state=seed)
+    a = a + sp.diags(3.0 + rng.random(n) * n)
+    if complex_:
+        a = a + 1j * sp.random(n, n, density=min(1.0, 5 / n),
+                               random_state=seed + 1)
+    a = sp.csc_matrix(a)
+    lu = SparseLU(a, engine="gp")
+    b = rng.standard_normal((n, 2))
+    x = lu.solve(b)
+    assert np.allclose(a @ x, b, atol=1e-7 * max(1.0, abs(a).max()))

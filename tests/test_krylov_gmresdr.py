@@ -1,0 +1,101 @@
+"""Tests for GMRES-DR (deflated restarting, the PETSc DGMRES baseline)."""
+
+import numpy as np
+import pytest
+
+from repro import Options, solve
+from repro.krylov.gcrodr import gcrodr
+from repro.krylov.gmres import gmres
+from repro.krylov.gmresdr import gmresdr
+from repro.precond.simple import SSORPreconditioner
+
+from conftest import complex_shifted, laplacian_1d, relative_residuals
+
+
+def _opts(**kw):
+    kw.setdefault("krylov_method", "gmresdr")
+    kw.setdefault("gmres_restart", 30)
+    kw.setdefault("recycle", 10)
+    kw.setdefault("tol", 1e-8)
+    kw.setdefault("max_it", 6000)
+    return Options(**kw)
+
+
+class TestConvergence:
+    def test_deflation_rescues_restarted_gmres(self, rng):
+        a = laplacian_1d(600)
+        b = rng.standard_normal(600)
+        rd = gmresdr(a, b, options=_opts())
+        rg = gmres(a, b, options=Options(gmres_restart=30, tol=1e-8,
+                                         max_it=6000))
+        assert rd.converged.all()
+        assert relative_residuals(a, rd.x, b)[0] < 1e-7
+        assert (not rg.converged.all()) or rd.iterations < rg.iterations
+
+    def test_equivalent_to_gcrodr_on_single_system(self, rng):
+        """Parks et al.: GMRES-DR == GCRO-DR for one linear system."""
+        a = laplacian_1d(500)
+        b = rng.standard_normal(500)
+        rd = gmresdr(a, b, options=_opts())
+        rc = gcrodr(a, b, options=_opts(krylov_method="gcrodr"))
+        assert rd.converged.all() and rc.converged.all()
+        # equivalence is exact in exact arithmetic; allow round-off slack
+        assert abs(rd.iterations - rc.iterations) <= 0.05 * rc.iterations + 3
+
+    def test_preconditioned(self, rng):
+        a = laplacian_1d(400)
+        b = rng.standard_normal(400)
+        m = SSORPreconditioner(a)
+        res = gmresdr(a, b, m, options=_opts(variant="right"))
+        assert res.converged.all()
+        assert relative_residuals(a, res.x, b)[0] < 1e-7
+
+    def test_left_preconditioning(self, rng):
+        a = laplacian_1d(300)
+        b = rng.standard_normal(300)
+        m = SSORPreconditioner(a)
+        res = gmresdr(a, b, m, options=_opts(variant="left"))
+        assert res.converged.all()
+
+    def test_complex(self, rng):
+        a = complex_shifted(300)
+        b = rng.standard_normal(300) + 1j * rng.standard_normal(300)
+        res = gmresdr(a, b, options=_opts())
+        assert res.converged.all()
+        assert relative_residuals(a, res.x, b)[0] < 1e-7
+
+    def test_easy_system_single_cycle(self, rng):
+        a = laplacian_1d(100, shift=1.0)
+        b = rng.standard_normal(100)
+        res = gmresdr(a, b, options=_opts())
+        assert res.converged.all()
+        assert res.restarts == 1
+
+
+class TestGuards:
+    def test_flexible_rejected(self):
+        a = laplacian_1d(30)
+        with pytest.raises(ValueError, match="variable"):
+            gmresdr(a, np.ones(30), options=_opts(variant="flexible"))
+
+    def test_multiple_rhs_rejected(self, rng):
+        a = laplacian_1d(30)
+        with pytest.raises(ValueError, match="single"):
+            gmresdr(a, np.ones((30, 2)), options=_opts())
+
+    def test_k_bounds_enforced(self):
+        with pytest.raises(Exception):
+            Options(krylov_method="gmresdr", gmres_restart=10, recycle=10)
+
+    def test_api_dispatch(self, rng):
+        a = laplacian_1d(120, shift=0.3)
+        res = solve(a, rng.standard_normal(120),
+                    options=_opts(gmres_restart=20, recycle=5))
+        assert res.method == "gmresdr"
+        assert res.converged.all()
+
+    def test_no_cross_solve_recycling(self, rng):
+        """The paper's point: DGMRES cannot recycle between solves."""
+        a = laplacian_1d(200)
+        res = solve(a, rng.standard_normal(200), options=_opts(max_it=8000))
+        assert res.info.get("recycle") is None

@@ -1,0 +1,180 @@
+"""Tests for the incremental block-Hessenberg QR."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.la.blockqr import BlockHessenbergQR
+
+
+def _random_hessenberg(rng, m, p, dtype=np.float64):
+    """Random block Hessenberg ((m+1)p x mp) with its column blocks."""
+    n_rows = (m + 1) * p
+    h = np.zeros((n_rows, m * p), dtype=dtype)
+    for j in range(m):
+        blk = rng.standard_normal(((j + 2) * p, p))
+        if np.issubdtype(dtype, np.complexfloating):
+            blk = blk + 1j * rng.standard_normal(blk.shape)
+        h[: (j + 2) * p, j * p: (j + 1) * p] = blk
+    return h
+
+
+class TestIncrementalQR:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    @pytest.mark.parametrize("dtype", [np.float64, np.complex128])
+    def test_triangular_factor_matches_numpy(self, rng, p, dtype):
+        m = 6
+        h = _random_hessenberg(rng, m, p, dtype)
+        s1 = np.eye(p, dtype=dtype)
+        hqr = BlockHessenbergQR(m, p, s1, dtype=dtype)
+        for j in range(m):
+            hqr.add_column(h[: (j + 2) * p, j * p: (j + 1) * p])
+        r_inc = hqr.triangular()
+        _, r_ref = np.linalg.qr(h[:, : m * p])
+        # R unique up to unitary diagonal: compare column norms and |R|
+        assert np.allclose(np.abs(r_inc), np.abs(np.triu(r_ref)), atol=1e-9)
+
+    def test_least_squares_solution(self, rng):
+        m, p = 5, 3
+        h = _random_hessenberg(rng, m, p)
+        s1 = rng.standard_normal((p, p))
+        hqr = BlockHessenbergQR(m, p, s1)
+        for j in range(m):
+            hqr.add_column(h[: (j + 2) * p, j * p: (j + 1) * p])
+        y = hqr.solve()
+        rhs = np.zeros(((m + 1) * p, p))
+        rhs[:p] = s1
+        y_ref, *_ = np.linalg.lstsq(h, rhs, rcond=None)
+        assert np.allclose(y, y_ref, atol=1e-8)
+
+    def test_residual_norms_match_lstsq(self, rng):
+        m, p = 4, 2
+        h = _random_hessenberg(rng, m, p)
+        s1 = rng.standard_normal((p, p))
+        hqr = BlockHessenbergQR(m, p, s1)
+        for j in range(m):
+            res = hqr.add_column(h[: (j + 2) * p, j * p: (j + 1) * p])
+            hj = h[: (j + 2) * p, : (j + 1) * p]
+            rhs = np.zeros(((j + 2) * p, p))
+            rhs[:p] = s1
+            y_ref, *_ = np.linalg.lstsq(hj, rhs, rcond=None)
+            res_ref = np.linalg.norm(rhs - hj @ y_ref, axis=0)
+            assert np.allclose(res, res_ref, atol=1e-9)
+
+    def test_scalar_case_is_givens_equivalent(self, rng):
+        # p=1 must reproduce classic GMRES residual recurrences
+        m = 8
+        h = _random_hessenberg(rng, m, 1)
+        beta = 3.7
+        hqr = BlockHessenbergQR(m, 1, np.array([[beta]]))
+        for j in range(m):
+            res = hqr.add_column(h[: j + 2, j: j + 1])
+            assert res.shape == (1,)
+            assert res[0] >= -1e-14
+
+    def test_residuals_monotone_nonincreasing(self, rng):
+        m, p = 6, 2
+        h = _random_hessenberg(rng, m, p)
+        hqr = BlockHessenbergQR(m, p, np.eye(p))
+        prev = np.full(p, np.inf)
+        for j in range(m):
+            res = hqr.add_column(h[: (j + 2) * p, j * p: (j + 1) * p])
+            assert np.all(res <= prev + 1e-12)
+            prev = res
+
+
+class TestAccessorsAndGuards:
+    def test_hessenberg_storage(self, rng):
+        m, p = 3, 2
+        h = _random_hessenberg(rng, m, p)
+        hqr = BlockHessenbergQR(m, p, np.eye(p))
+        for j in range(m):
+            hqr.add_column(h[: (j + 2) * p, j * p: (j + 1) * p])
+        assert np.allclose(hqr.hessenberg(), h)
+        assert hqr.last_subdiagonal_block().shape == (p, p)
+        assert np.allclose(hqr.last_subdiagonal_block(),
+                           h[m * p:, (m - 1) * p:])
+
+    def test_wrong_shape_rejected(self):
+        hqr = BlockHessenbergQR(4, 2, np.eye(2))
+        with pytest.raises(ValueError, match="shape"):
+            hqr.add_column(np.ones((3, 2)))
+
+    def test_overflow_rejected(self, rng):
+        m, p = 2, 1
+        h = _random_hessenberg(rng, m, p)
+        hqr = BlockHessenbergQR(m, p, np.eye(p))
+        for j in range(m):
+            hqr.add_column(h[: j + 2, j: j + 1])
+        with pytest.raises(ValueError, match="full"):
+            hqr.add_column(np.ones((m + 2, 1)))
+
+    def test_rhs_shape_validated(self):
+        with pytest.raises(ValueError, match="rhs0"):
+            BlockHessenbergQR(4, 2, np.eye(3))
+
+    def test_last_subdiagonal_before_any_column(self):
+        hqr = BlockHessenbergQR(4, 2, np.eye(2))
+        with pytest.raises(ValueError):
+            hqr.last_subdiagonal_block()
+
+    def test_empty_solve(self):
+        hqr = BlockHessenbergQR(4, 2, np.eye(2))
+        assert hqr.solve().shape == (0, 2)
+
+
+class TestQApplication:
+    def test_q_unitary(self, rng):
+        m, p = 5, 2
+        h = _random_hessenberg(rng, m, p)
+        hqr = BlockHessenbergQR(m, p, np.eye(p))
+        for j in range(m):
+            hqr.add_column(h[: (j + 2) * p, j * p: (j + 1) * p])
+        q = hqr.q_matrix()
+        assert np.allclose(q.conj().T @ q, np.eye(q.shape[0]), atol=1e-10)
+
+    def test_qh_times_h_is_triangular(self, rng):
+        m, p = 4, 3
+        h = _random_hessenberg(rng, m, p)
+        hqr = BlockHessenbergQR(m, p, np.eye(p))
+        for j in range(m):
+            hqr.add_column(h[: (j + 2) * p, j * p: (j + 1) * p])
+        transformed = hqr.apply_qh(h)
+        assert np.allclose(transformed[: m * p], hqr.triangular(), atol=1e-9)
+        assert np.allclose(transformed[m * p:], 0, atol=1e-9)
+
+    def test_q_and_qh_inverse(self, rng):
+        m, p = 4, 2
+        h = _random_hessenberg(rng, m, p)
+        hqr = BlockHessenbergQR(m, p, np.eye(p))
+        for j in range(m):
+            hqr.add_column(h[: (j + 2) * p, j * p: (j + 1) * p])
+        x = rng.standard_normal((hqr.nrows_active, 3))
+        assert np.allclose(hqr.apply_q(hqr.apply_qh(x)), x, atol=1e-10)
+
+    def test_row_count_guard(self, rng):
+        hqr = BlockHessenbergQR(4, 2, np.eye(2))
+        hqr.add_column(np.ones((4, 2)))
+        with pytest.raises(ValueError, match="rows"):
+            hqr.apply_qh(np.ones((6, 1)))
+
+
+@settings(max_examples=20, deadline=None)
+@given(m=st.integers(1, 6), p=st.integers(1, 3), seed=st.integers(0, 2**31 - 1))
+def test_property_solution_minimizes(m, p, seed):
+    rng = np.random.default_rng(seed)
+    h = _random_hessenberg(rng, m, p)
+    s1 = rng.standard_normal((p, p))
+    hqr = BlockHessenbergQR(m, p, s1)
+    for j in range(m):
+        hqr.add_column(h[: (j + 2) * p, j * p: (j + 1) * p])
+    y = hqr.solve()
+    rhs = np.zeros(((m + 1) * p, p))
+    rhs[:p] = s1
+    base = np.linalg.norm(rhs - h @ y, axis=0)
+    # any perturbation of y must not decrease the residual
+    for _ in range(3):
+        dy = 1e-3 * rng.standard_normal(y.shape)
+        pert = np.linalg.norm(rhs - h @ (y + dy), axis=0)
+        assert np.all(pert >= base - 1e-9)

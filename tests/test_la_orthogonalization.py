@@ -1,0 +1,224 @@
+"""Tests for the orthogonalization kernels, incl. property-based checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.la.orthogonalization import (arnoldi_orthogonalize,
+                                        classical_gram_schmidt_qr, cholqr,
+                                        cholqr_rr, householder_qr,
+                                        modified_gram_schmidt_qr, project_out,
+                                        qr_factorization, shifted_cholqr, tsqr)
+from repro.util import ledger
+
+
+def _random_block(rng, n, p, complex_=False, cond=None):
+    x = rng.standard_normal((n, p))
+    if complex_:
+        x = x + 1j * rng.standard_normal((n, p))
+    if cond is not None:
+        u, _, vt = np.linalg.svd(x, full_matrices=False)
+        s = np.logspace(0, -np.log10(cond), p)
+        x = (u * s) @ vt
+    return x
+
+
+def _check_qr(x, q, r, atol=1e-10):
+    p = x.shape[1]
+    assert np.allclose(q @ r, x, atol=atol * max(np.linalg.norm(x), 1.0))
+    assert np.allclose(q.conj().T @ q, np.eye(p), atol=atol)
+    assert np.allclose(np.tril(r, -1), 0, atol=atol)
+
+
+QR_FUNS = {
+    "cholqr": cholqr,
+    "shifted_cholqr": shifted_cholqr,
+    "tsqr": tsqr,
+    "householder": householder_qr,
+    "cgs": classical_gram_schmidt_qr,
+    "mgs": modified_gram_schmidt_qr,
+}
+
+
+class TestQRVariants:
+    @pytest.mark.parametrize("name", list(QR_FUNS))
+    @pytest.mark.parametrize("complex_", [False, True])
+    def test_factorization_identity(self, rng, name, complex_):
+        x = _random_block(rng, 200, 6, complex_=complex_)
+        q, r = QR_FUNS[name](x)
+        _check_qr(x, q, r)
+
+    @pytest.mark.parametrize("name", ["shifted_cholqr", "householder", "mgs"])
+    def test_ill_conditioned_block(self, rng, name):
+        x = _random_block(rng, 300, 5, cond=1e8)
+        q, r = QR_FUNS[name](x)
+        assert np.linalg.norm(q.conj().T @ q - np.eye(5)) < 1e-6
+
+    def test_plain_cholqr_raises_on_rank_deficient(self, rng):
+        x = _random_block(rng, 100, 3)
+        x[:, 2] = x[:, 0]  # exactly dependent
+        with pytest.raises(np.linalg.LinAlgError):
+            cholqr(x)
+
+    def test_single_column_matches_norm(self, rng):
+        x = _random_block(rng, 50, 1)
+        q, r = cholqr(x)
+        assert np.isclose(r[0, 0], np.linalg.norm(x))
+        assert np.allclose(q * r[0, 0], x)
+
+
+class TestRankRevealing:
+    def test_detects_colinear_columns(self, rng):
+        x = _random_block(rng, 150, 4)
+        x[:, 3] = 2.0 * x[:, 1]
+        q, r, rank = cholqr_rr(x, tol=1e-10)
+        assert rank == 3
+        assert np.allclose(q @ r, x, atol=1e-8)
+        # leading columns orthonormal, trailing zero
+        assert np.allclose(q[:, :3].conj().T @ q[:, :3], np.eye(3), atol=1e-8)
+        assert np.allclose(q[:, 3], 0)
+
+    def test_zero_block(self):
+        q, r, rank = cholqr_rr(np.zeros((20, 3)))
+        assert rank == 0
+        assert np.allclose(q, 0) and np.allclose(r, 0)
+
+    def test_full_rank_reported(self, rng):
+        x = _random_block(rng, 80, 5)
+        _, _, rank = cholqr_rr(x)
+        assert rank == 5
+
+    def test_complex_rank_deficiency(self, rng):
+        x = _random_block(rng, 90, 3, complex_=True)
+        x[:, 2] = (1 + 2j) * x[:, 0]
+        _, _, rank = cholqr_rr(x)
+        assert rank == 2
+
+
+class TestReductionCounting:
+    """Section III-D of the paper: CholQR/TSQR = 1 reduction, CGS = p."""
+
+    def test_cholqr_single_reduction(self, rng):
+        x = _random_block(rng, 100, 8)
+        with ledger.install() as led:
+            cholqr(x)
+        assert led.reductions == 1
+
+    def test_tsqr_single_reduction(self, rng):
+        x = _random_block(rng, 100, 8)
+        with ledger.install() as led:
+            tsqr(x)
+        assert led.reductions == 1
+
+    def test_cgs_p_like_reductions(self, rng):
+        p = 8
+        x = _random_block(rng, 100, p)
+        with ledger.install() as led:
+            classical_gram_schmidt_qr(x)
+        # one batched projection + one norm per column, minus the projection
+        # of the first column
+        assert led.reductions == 2 * p - 1
+
+    def test_mgs_quadratic_reductions(self, rng):
+        p = 6
+        x = _random_block(rng, 100, p)
+        with ledger.install() as led:
+            modified_gram_schmidt_qr(x)
+        assert led.reductions == p * (p + 1) // 2
+
+    def test_project_out_cgs_one_reduction(self, rng):
+        basis, _ = np.linalg.qr(_random_block(rng, 100, 10))
+        w = _random_block(rng, 100, 4)
+        with ledger.install() as led:
+            project_out(basis, w, scheme="cgs")
+        assert led.reductions == 1
+
+    def test_project_out_mgs_k_reductions(self, rng):
+        basis, _ = np.linalg.qr(_random_block(rng, 100, 10))
+        w = _random_block(rng, 100, 4)
+        with ledger.install() as led:
+            project_out(basis, w, scheme="mgs")
+        assert led.reductions == 10
+
+
+class TestProjectOut:
+    @pytest.mark.parametrize("scheme", ["cgs", "imgs", "mgs"])
+    def test_result_is_orthogonal_to_basis(self, rng, scheme):
+        basis, _ = np.linalg.qr(_random_block(rng, 200, 12))
+        w = _random_block(rng, 200, 3)
+        w2, coeffs = project_out(basis, w, scheme=scheme)
+        assert np.linalg.norm(basis.conj().T @ w2) < 1e-10
+        assert np.allclose(basis @ coeffs + w2, w, atol=1e-10)
+
+    def test_empty_basis_is_noop(self, rng):
+        w = _random_block(rng, 50, 2)
+        w2, coeffs = project_out(np.zeros((50, 0)), w)
+        assert np.allclose(w2, w)
+        assert coeffs.shape == (0, 2)
+
+    def test_unknown_scheme_raises(self, rng):
+        with pytest.raises(ValueError):
+            project_out(np.eye(4), np.ones((4, 1)), scheme="banana")
+
+
+class TestArnoldiStep:
+    def test_full_relation(self, rng):
+        basis, _ = np.linalg.qr(_random_block(rng, 120, 6))
+        w = _random_block(rng, 120, 3)
+        q, h, s, rank = arnoldi_orthogonalize(basis, w)
+        assert rank == 3
+        assert np.allclose(basis @ h + q @ s, w, atol=1e-9)
+        assert np.linalg.norm(basis.conj().T @ q) < 1e-9
+
+    def test_breakdown_detection(self, rng):
+        basis, _ = np.linalg.qr(_random_block(rng, 120, 6))
+        # w entirely inside the basis: remainder is numerically zero
+        w = basis @ rng.standard_normal((6, 2))
+        _, _, _, rank = arnoldi_orthogonalize(basis, w, qr_scheme="cholqr_rr")
+        assert rank == 0
+
+
+class TestDispatch:
+    def test_unknown_scheme(self, rng):
+        with pytest.raises(ValueError):
+            qr_factorization(np.ones((4, 2)), "banana")
+
+    def test_cholqr_fallback_on_dependent_columns(self, rng):
+        x = _random_block(rng, 60, 3)
+        x[:, 2] = x[:, 0]
+        q, r, rank = qr_factorization(x, "cholqr")
+        # fell back to a rank-aware path without raising
+        assert rank <= 3
+        assert np.allclose(q @ r, x, atol=1e-7)
+
+
+# ---------------------------------------------------------------------------
+# property-based checks
+# ---------------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(10, 120), p=st.integers(1, 6),
+       seed=st.integers(0, 2**31 - 1), complex_=st.booleans())
+def test_property_cholqr_reconstructs(n, p, seed, complex_):
+    rng = np.random.default_rng(seed)
+    p = min(p, n)
+    x = _random_block(rng, n, p, complex_=complex_)
+    q, r, rank = qr_factorization(x, "cholqr")
+    assert rank == p
+    assert np.allclose(q @ r, x, atol=1e-8 * max(np.linalg.norm(x), 1.0))
+    assert np.allclose(q.conj().T @ q, np.eye(p), atol=1e-7)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(20, 100), k=st.integers(1, 8), p=st.integers(1, 4),
+       seed=st.integers(0, 2**31 - 1))
+def test_property_projection_idempotent(n, k, p, seed):
+    rng = np.random.default_rng(seed)
+    k = min(k, n - p)
+    basis, _ = np.linalg.qr(rng.standard_normal((n, k)))
+    w = rng.standard_normal((n, p))
+    w1, _ = project_out(basis, w, scheme="imgs")
+    w2, c2 = project_out(basis, w1, scheme="cgs")
+    # projecting twice changes nothing
+    assert np.linalg.norm(w2 - w1) <= 1e-10 * max(np.linalg.norm(w), 1.0)
+    assert np.linalg.norm(c2) <= 1e-10 * max(np.linalg.norm(w), 1.0)

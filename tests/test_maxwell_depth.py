@@ -1,0 +1,167 @@
+"""Deeper Maxwell verification: manufactured physics, impedance terms,
+antenna variants, and decomposition edge cases."""
+
+import numpy as np
+import pytest
+
+from repro import Options, solve
+from repro.precond.schwarz import SchwarzPreconditioner
+from repro.problems.maxwell import (_face_trace_mass, antenna_ring_rhs,
+                                    assemble_maxwell, decompose_maxwell,
+                                    edge_element_matrices, maxwell_chamber,
+                                    _scatter_assemble)
+from repro.problems.tetmesh import box_tet_mesh
+
+
+class TestEigenvaluePhysics:
+    def test_cavity_resonance_converges_with_mesh(self):
+        """The first cavity eigenvalue of the unit cube is 2 pi^2.
+
+        The discrete generalized eigenproblem ``K u = lambda M u`` (PEC
+        boundary) must approach it from above as the mesh refines — the
+        canonical edge-element validation.
+        """
+        import scipy.sparse.linalg as spla
+        import scipy.sparse as sp
+        exact = 2 * np.pi ** 2
+        approx = []
+        for n in (3, 5):
+            mesh = box_tet_mesh(n)
+            ke, me = edge_element_matrices(mesh)
+            k = _scatter_assemble(mesh, ke)
+            m = _scatter_assemble(mesh, me)
+            free = np.setdiff1d(np.arange(mesh.n_edges), mesh.boundary_edges)
+            kf = sp.csr_matrix(k[free][:, free])
+            mf = sp.csr_matrix(m[free][:, free])
+            # smallest nonzero eigenvalue: shift-invert near the physical
+            # target so the gradient kernel (lambda = 0) is skipped
+            vals = spla.eigsh(kf, k=6, M=mf, sigma=exact,
+                              return_eigenvectors=False)
+            vals = np.sort(vals[vals > 1.0])
+            approx.append(vals[0])
+        err = [abs(a - exact) / exact for a in approx]
+        assert err[1] < err[0]          # converging with refinement
+        assert err[1] < 0.2
+
+    def test_gradient_kernel_dimension(self):
+        """dim ker(K) on free edges = number of interior nodes."""
+        mesh = box_tet_mesh(3)
+        ke, _ = edge_element_matrices(mesh)
+        k = _scatter_assemble(mesh, ke)
+        free = np.setdiff1d(np.arange(mesh.n_edges), mesh.boundary_edges)
+        kf = k[free][:, free].toarray()
+        n_zero = int(np.sum(np.abs(np.linalg.eigvalsh(kf)) < 1e-8))
+        on_boundary = np.any((mesh.points == 0) | (mesh.points == 1), axis=1)
+        n_interior = int(np.count_nonzero(~on_boundary))
+        assert n_zero == n_interior
+
+
+class TestFaceTraceMass:
+    def test_spd_on_random_triangle(self, rng):
+        pts = rng.standard_normal((3, 3))
+        m = _face_trace_mass(pts, np.array([0, 1, 2]))
+        assert np.allclose(m, m.T, atol=1e-12)
+        assert np.all(np.linalg.eigvalsh(m) > 0)
+
+    def test_constant_tangential_field_integral(self):
+        """For E = const in the face plane, u^T M u = |F| |E|^2."""
+        pts = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        tri = np.array([0, 1, 2])
+        m = _face_trace_mass(pts, tri)
+        e_field = np.array([1.0, 0.0, 0.0])
+        # edge coefficients of a constant field: u_e = (p_hi - p_lo) . E
+        local_edges = [(0, 1), (0, 2), (1, 2)]
+        u = np.array([(pts[b] - pts[a]) @ e_field for a, b in local_edges])
+        area = 0.5
+        assert u @ m @ u == pytest.approx(area * 1.0, rel=1e-12)
+
+    def test_scaling_with_area(self, rng):
+        pts = rng.standard_normal((3, 3))
+        tri = np.array([0, 1, 2])
+        m1 = _face_trace_mass(pts, tri)
+        # scaling the triangle by 2 scales the mass matrix by... area x4,
+        # gradients /2, products of two basis functions: lambda O(1),
+        # grad O(1/2) => integrand O(1/4), total O(1): M invariant? No:
+        # M = area/12 * (g.g terms) ~ 4 * (1/4) = 1 — scale-invariant.
+        m2 = _face_trace_mass(2.0 * pts, tri)
+        assert np.allclose(m2, m1, atol=1e-10)
+
+
+class TestAntennas:
+    @pytest.fixture(scope="class")
+    def chamber(self):
+        return maxwell_chamber(6, omega=8.0)
+
+    def test_tangential_direction(self, chamber):
+        b = antenna_ring_rhs(chamber, n_antennas=4, direction="tangential")
+        assert b.shape[1] == 4
+        assert np.all(np.linalg.norm(b, axis=0) > 0)
+
+    def test_unknown_direction(self, chamber):
+        with pytest.raises(ValueError, match="direction"):
+            antenna_ring_rhs(chamber, n_antennas=2, direction="radial")
+
+    def test_amplitude_linearity(self, chamber):
+        b1 = antenna_ring_rhs(chamber, n_antennas=2, amplitude=1.0)
+        b3 = antenna_ring_rhs(chamber, n_antennas=2, amplitude=3.0)
+        assert np.allclose(b3, 3.0 * b1, atol=1e-14)
+
+    def test_rotational_symmetry_of_norms(self, chamber):
+        """Antennas on a symmetric ring excite comparably strong RHSs."""
+        b = antenna_ring_rhs(chamber, n_antennas=8)
+        norms = np.linalg.norm(b, axis=0)
+        assert norms.max() / norms.min() < 25  # mesh breaks exact symmetry
+
+    def test_rhs_scales_with_omega(self):
+        p1 = maxwell_chamber(5, omega=4.0)
+        p2 = maxwell_chamber(5, omega=8.0)
+        b1 = antenna_ring_rhs(p1, n_antennas=1)
+        b2 = antenna_ring_rhs(p2, n_antennas=1)
+        # i*omega*J source: same dipole, double omega => double magnitude
+        assert np.linalg.norm(b2) == pytest.approx(2 * np.linalg.norm(b1),
+                                                   rel=1e-10)
+
+
+class TestDecompositionDepth:
+    @pytest.fixture(scope="class")
+    def chamber(self):
+        return maxwell_chamber(6, omega=8.0)
+
+    def test_eta_controls_impedance_strength(self, chamber):
+        d1 = decompose_maxwell(chamber, 2, overlap=1, eta=0.5)
+        d2 = decompose_maxwell(chamber, 2, overlap=1, eta=2.0)
+        diff = abs(d1.local_matrices[0] - d2.local_matrices[0]).max()
+        assert diff > 0
+        # the impedance term is anti-Hermitian: only the imaginary part moves
+        h1 = (d1.local_matrices[0] - d1.local_matrices[0].conj().T)
+        h2 = (d2.local_matrices[0] - d2.local_matrices[0].conj().T)
+        assert abs(h2).max() > abs(h1).max()
+
+    def test_overlap_grows_subdomain_dofs(self, chamber):
+        d1 = decompose_maxwell(chamber, 4, overlap=1)
+        d2 = decompose_maxwell(chamber, 4, overlap=2)
+        s1 = sum(len(s) for s in d1.decomposition.overlapping)
+        s2 = sum(len(s) for s in d2.decomposition.overlapping)
+        assert s2 > s1
+
+    def test_every_free_dof_is_owned_once(self, chamber):
+        dec = decompose_maxwell(chamber, 4, overlap=1)
+        owned = np.concatenate(dec.decomposition.owned)
+        assert len(owned) == chamber.n
+        assert len(np.unique(owned)) == chamber.n
+
+    def test_more_subdomains_more_iterations(self, chamber):
+        """One-level ORAS: iteration count grows mildly with N (Fig. 7)."""
+        b = antenna_ring_rhs(chamber, n_antennas=1)[:, 0]
+        o = Options(tol=1e-6, variant="right", max_it=400, gmres_restart=50)
+        its = {}
+        for nparts in (2, 8):
+            dec = decompose_maxwell(chamber, nparts, overlap=2)
+            m = SchwarzPreconditioner(chamber.a, variant="oras",
+                                      decomposition=dec.decomposition,
+                                      local_matrices=dec.local_matrices)
+            res = solve(chamber.a, b, m, options=o)
+            assert res.converged.all()
+            its[nparts] = res.iterations
+        assert its[8] >= its[2]
+        assert its[8] <= 4 * its[2]

@@ -1,0 +1,111 @@
+"""Tests for the cost ledger (the accounting backbone)."""
+
+import numpy as np
+
+from repro.util import ledger
+from repro.util.ledger import CostLedger, Kernel
+
+
+class TestLedgerBasics:
+    def test_null_ledger_swallows_events(self):
+        # no ledger installed: events must not raise and must not accumulate
+        ledger.current().reduction()
+        ledger.current().flop(Kernel.SPMV, 100)
+        assert ledger.current().reductions == 0
+
+    def test_install_and_count(self):
+        with ledger.install() as led:
+            ledger.current().reduction()
+            ledger.current().reduction(nbytes=64, count=3)
+        assert led.reductions == 4
+        assert led.reduction_bytes == 8 + 64 * 3
+
+    def test_nesting_inner_shadows_outer(self):
+        with ledger.install() as outer:
+            ledger.current().reduction()
+            with ledger.install() as inner:
+                ledger.current().reduction()
+            ledger.current().reduction()
+        assert outer.reductions == 2
+        assert inner.reductions == 1
+
+    def test_p2p_and_flops(self):
+        with ledger.install() as led:
+            ledger.current().p2p(messages=4, nbytes=1024)
+            ledger.current().flop(Kernel.SPMM, 1e6)
+            ledger.current().flop(Kernel.SPMM, 2e6)
+            ledger.current().flop(Kernel.BLAS3, 5e5)
+        assert led.p2p_messages == 4
+        assert led.p2p_bytes == 1024
+        assert led.flops[Kernel.SPMM] == 3e6
+        assert led.total_flops() == 3.5e6
+
+    def test_events(self):
+        with ledger.install() as led:
+            ledger.current().event("operator_apply", 3)
+            ledger.current().event("operator_apply")
+        assert led.calls["operator_apply"] == 4
+
+    def test_timer_accumulates(self):
+        led = CostLedger()
+        with led.timer("setup"):
+            pass
+        with led.timer("setup"):
+            pass
+        assert "setup" in led.timers
+        assert led.timers["setup"] >= 0.0
+
+
+class TestSnapshotDiff:
+    def test_diff_isolates_a_phase(self):
+        with ledger.install() as led:
+            ledger.current().reduction()
+            ledger.current().flop(Kernel.SPMV, 10)
+            before = led.snapshot()
+            ledger.current().reduction(count=5)
+            ledger.current().flop(Kernel.SPMV, 30)
+            delta = led.diff(before)
+        assert delta.reductions == 5
+        assert delta.flops[Kernel.SPMV] == 30
+        # original unchanged by diffing
+        assert led.reductions == 6
+
+    def test_snapshot_is_independent(self):
+        with ledger.install() as led:
+            snap = led.snapshot()
+            ledger.current().reduction()
+        assert snap.reductions == 0
+
+    def test_summary_is_text(self):
+        with ledger.install() as led:
+            ledger.current().reduction()
+            ledger.current().flop(Kernel.BLAS3, 1e3)
+        text = led.summary()
+        assert "reductions" in text
+        assert "blas3" in text
+
+
+class TestInstrumentedKernels:
+    def test_solver_reductions_counted(self):
+        import scipy.sparse as sp
+        from repro import Options, solve
+        n = 64
+        a = sp.diags([-np.ones(n - 1), 3.0 * np.ones(n), -np.ones(n - 1)],
+                     [-1, 0, 1]).tocsr()
+        b = np.ones(n)
+        with ledger.install() as led:
+            res = solve(a, b, options=Options(tol=1e-10))
+        assert res.converged.all()
+        # every Arnoldi iteration costs at least a projection + a norm
+        assert led.reductions >= 2 * res.iterations
+        assert led.calls["operator_apply"] >= res.iterations
+
+    def test_spmm_vs_spmv_classification(self):
+        import scipy.sparse as sp
+        from repro.krylov.base import as_operator
+        a = as_operator(sp.eye(10).tocsr())
+        with ledger.install() as led:
+            a.matmat(np.ones((10, 1)))
+            a.matmat(np.ones((10, 4)))
+        assert led.flops[Kernel.SPMV] > 0
+        assert led.flops[Kernel.SPMM] > 0
