@@ -1,0 +1,200 @@
+"""Microbenchmarks of the simulated-MPI substrate: fused vs per-rank.
+
+Times the three distributed primitives that dominate every solver run —
+SpMM (:meth:`DistributedCSR.matmat`), column dot products
+(:meth:`DistributedBlockVector.col_dots`) and block orthogonalization
+(:func:`distributed_cholqr`) — at ``nranks`` in {1, 16, 64, 256} in both
+execution modes, and writes ``benchmarks/results/BENCH_kernels.json``.
+
+The per-rank mode loops over virtual ranks in Python, so its wall time
+grows with ``nranks`` even though the *simulated* communication cost is
+what the ledger records; the fused engine runs one vectorized kernel on
+the global array and charges the ledger in O(1) from the precomputed
+:class:`~repro.util.ledger.CostTable`.  Both modes charge bit-identical
+ledger counts (see ``tests/test_exec_modes.py``), so the fused speedup is
+pure overhead removal.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_micro_kernels.py           # full
+    PYTHONPATH=src python benchmarks/bench_micro_kernels.py --quick   # CI
+    PYTHONPATH=src python benchmarks/bench_micro_kernels.py --quick --check
+
+``--check`` exits nonzero unless fused is at least as fast as per-rank at
+nranks=64 for SpMM and column dots (the repo's perf regression gate).
+
+Also collectable by pytest (``pytest benchmarks/bench_micro_kernels.py``)
+via :func:`test_fused_not_slower_at_64_ranks`, following the suite's
+pattern of shipping each benchmark with a shape-assertion test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+if __name__ == "__main__":  # allow running without PYTHONPATH=src
+    _src = Path(__file__).resolve().parent.parent / "src"
+    if str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+
+from repro.distla.distcsr import DistributedCSR
+from repro.distla.distqr import distributed_cholqr
+from repro.distla.distvec import DistributedBlockVector
+from repro.simmpi.grid import VirtualGrid
+from repro.util.execmode import use_exec_mode
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_kernels.json"
+
+# grid 96 -> n = 9216, the size regime of the repo's simulated scaling
+# studies (benchmarks/bench_fig7_strong_scaling.py and friends)
+FULL = {"grid": 96, "p": 8, "nranks": (1, 16, 64, 256), "repeats": 11}
+QUICK = {"grid": 64, "p": 8, "nranks": (1, 64), "repeats": 3}
+
+
+def laplacian_2d(nx: int) -> sp.csr_matrix:
+    e = np.ones(nx)
+    t = sp.diags([-e[:-1], 2.0 * e, -e[:-1]], [-1, 0, 1])
+    eye = sp.eye(nx)
+    return (sp.kron(eye, t) + sp.kron(t, eye)).tocsr()
+
+
+def _time(fn, repeats: int) -> float:
+    """Best-of-N wall time in seconds (min is robust to scheduler noise)."""
+    fn()  # warm up caches / lazy builds
+    fn()
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_kernels(cfg: dict) -> list[dict]:
+    a = laplacian_2d(cfg["grid"])
+    n, p = a.shape[0], cfg["p"]
+    rng = np.random.default_rng(20260705)
+    x = rng.standard_normal((n, p))
+    y = rng.standard_normal((n, p))
+    for _ in range(50):  # spin up CPU clocks so config #1 is not penalized
+        a @ x
+    rows = []
+    for nranks in cfg["nranks"]:
+        grid = VirtualGrid(n, nranks)
+        dcsr = DistributedCSR(a, grid)
+        vecs = {}
+        for mode in ("per_rank", "fused"):
+            with use_exec_mode(mode):
+                vecs[mode] = (DistributedBlockVector.from_global(grid, x),
+                              DistributedBlockVector.from_global(grid, y))
+        kernels = {
+            "spmm": lambda dx, dy: dcsr.matmat(x),
+            "col_dots": lambda dx, dy: dx.col_dots(dy),
+            "cholqr": lambda dx, dy: distributed_cholqr(dx),
+        }
+        # time the two modes back-to-back per kernel so they face the same
+        # heap / clock state and the ratio is meaningful
+        for kernel, fn in kernels.items():
+            for mode in ("per_rank", "fused"):
+                dx, dy = vecs[mode]
+                with use_exec_mode(mode):
+                    seconds = _time(lambda: fn(dx, dy), cfg["repeats"])
+                rows.append({"kernel": kernel, "nranks": nranks, "mode": mode,
+                             "seconds": seconds})
+    return rows
+
+
+def speedups(rows: list[dict]) -> dict[str, dict[str, float]]:
+    """speedups[kernel][nranks] = per_rank time / fused time."""
+    t = {(r["kernel"], r["nranks"], r["mode"]): r["seconds"] for r in rows}
+    out: dict[str, dict[str, float]] = {}
+    for kernel, nranks, mode in t:
+        if mode != "fused":
+            continue
+        out.setdefault(kernel, {})[str(nranks)] = (
+            t[(kernel, nranks, "per_rank")] / t[(kernel, nranks, "fused")])
+    return out
+
+
+def run(cfg: dict, out_path: Path | None) -> dict:
+    rows = bench_kernels(cfg)
+    report = {
+        "description": "fused vs per-rank execution of the simulated-MPI "
+                       "substrate; seconds are best-of-N wall times",
+        "problem": {"matrix": f"2-D Laplacian {cfg['grid']}x{cfg['grid']}",
+                    "n": cfg["grid"] ** 2, "block_width_p": cfg["p"],
+                    "repeats": cfg["repeats"]},
+        "results": rows,
+        "speedup_fused_over_per_rank": speedups(rows),
+    }
+    if out_path is not None:
+        out_path.parent.mkdir(exist_ok=True)
+        out_path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def print_report(report: dict) -> None:
+    print(f"# {report['problem']['matrix']}, p={report['problem']['block_width_p']}")
+    print(f"{'kernel':>10} {'nranks':>7} {'per_rank':>12} {'fused':>12} {'speedup':>8}")
+    t = {(r["kernel"], r["nranks"], r["mode"]): r["seconds"]
+         for r in report["results"]}
+    for kernel in ("spmm", "col_dots", "cholqr"):
+        for key in sorted({k[1] for k in t if k[0] == kernel}):
+            pr, fu = t[(kernel, key, "per_rank")], t[(kernel, key, "fused")]
+            print(f"{kernel:>10} {key:>7} {pr:>12.3e} {fu:>12.3e} {pr / fu:>7.1f}x")
+
+
+def check_gate(report: dict) -> list[str]:
+    """Regression gate: fused must not lose to per-rank at nranks=64."""
+    failures = []
+    for kernel in ("spmm", "col_dots"):
+        ratio = report["speedup_fused_over_per_rank"].get(kernel, {}).get("64")
+        if ratio is None:
+            failures.append(f"{kernel}: no nranks=64 measurement")
+        elif ratio < 1.0:
+            failures.append(f"{kernel}: fused {1 / ratio:.2f}x SLOWER than "
+                            "per_rank at nranks=64")
+    return failures
+
+
+def test_fused_not_slower_at_64_ranks():
+    """Pytest entry: the quick gate, runnable as part of the bench suite."""
+    report = run(QUICK, out_path=None)
+    assert not check_gate(report)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small problem, nranks {1, 64} only (CI-sized)")
+    ap.add_argument("--check", action="store_true",
+                    help="exit 1 if fused is slower than per_rank at nranks=64")
+    ap.add_argument("--out", type=Path, default=None,
+                    help=f"JSON output path (default {RESULTS_PATH}; "
+                         "--quick runs do not write unless --out is given)")
+    args = ap.parse_args(argv)
+    cfg = QUICK if args.quick else FULL
+    out_path = args.out if args.out is not None else (
+        None if args.quick else RESULTS_PATH)
+    report = run(cfg, out_path)
+    print_report(report)
+    if out_path is not None:
+        print(f"\nwrote {out_path}")
+    if args.check:
+        failures = check_gate(report)
+        if failures:
+            print("PERF GATE FAILED:\n  " + "\n  ".join(failures))
+            return 1
+        print("perf gate passed: fused >= per_rank at nranks=64")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repo check: tier-1 tests + the fused-engine perf gate.
+#
+#   ./scripts/check.sh
+#
+# Fails if any tier-1 test fails, or if the fused execution engine is
+# slower than the per-rank oracle at nranks=64 (bench_micro_kernels
+# --quick --check).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo
+echo "== perf gate: fused vs per-rank microkernels =="
+python benchmarks/bench_micro_kernels.py --quick --check
+
+echo
+echo "all checks passed"

@@ -25,7 +25,8 @@ from .api import Solver, solve
 from .krylov.base import (FunctionPreconditioner, Operator, Preconditioner,
                           SolveResult, as_operator, as_preconditioner)
 from .krylov.recycling import RecycledSubspace, RecyclingStore
-from .util.ledger import CostLedger, install as install_ledger
+from .util.execmode import exec_mode, set_exec_mode, use_exec_mode
+from .util.ledger import CostLedger, CostTable, install as install_ledger
 from .util.options import Options, parse_hpddm_args
 
 __version__ = "1.0.0"
@@ -44,5 +45,9 @@ __all__ = [
     "RecycledSubspace",
     "RecyclingStore",
     "CostLedger",
+    "CostTable",
     "install_ledger",
+    "exec_mode",
+    "set_exec_mode",
+    "use_exec_mode",
 ]

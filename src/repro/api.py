@@ -26,6 +26,7 @@ from .krylov.gmresdr import gmresdr
 from .krylov.lgmres import lgmres
 from .krylov.pgcrodr import PseudoBlockRecycle, pgcrodr
 from .krylov.recycling import RecycledSubspace
+from .util.execmode import use_exec_mode
 from .util.misc import as_block
 from .util.options import Options
 
@@ -49,6 +50,16 @@ def solve(a, b, m=None, *, options: Options | None = None,
     True
     """
     options = options or Options()
+    if options.exec_mode is not None:
+        with use_exec_mode(options.exec_mode):
+            return _dispatch(a, b, m, options=options, x0=x0,
+                             recycle=recycle, same_system=same_system)
+    return _dispatch(a, b, m, options=options, x0=x0,
+                     recycle=recycle, same_system=same_system)
+
+
+def _dispatch(a, b, m, *, options: Options, x0, recycle,
+              same_system) -> SolveResult:
     method = options.krylov_method
     if method in ("gmres", "richardson", "none"):
         if method in ("richardson", "none"):

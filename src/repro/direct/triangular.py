@@ -23,7 +23,7 @@ from ..util import ledger
 from ..util.ledger import Kernel
 from ..util.misc import as_block
 
-__all__ = ["LevelSchedule", "TriangularFactor"]
+__all__ = ["LevelSchedule", "TriangularFactor", "concat_factors"]
 
 
 class LevelSchedule:
@@ -38,8 +38,18 @@ class LevelSchedule:
             deps = row_cols[row_cols < i]
             if deps.size:
                 level[i] = level[deps].max() + 1
+        self._init_from_levels(level)
+
+    @classmethod
+    def from_levels(cls, level: np.ndarray) -> "LevelSchedule":
+        """Build a schedule from a precomputed per-row level array."""
+        obj = cls.__new__(cls)
+        obj._init_from_levels(np.asarray(level, dtype=np.int64))
+        return obj
+
+    def _init_from_levels(self, level: np.ndarray) -> None:
         self.level_of_row = level
-        self.n_levels = int(level.max()) + 1 if n else 0
+        self.n_levels = int(level.max()) + 1 if level.size else 0
         order = np.argsort(level, kind="stable")
         bounds = np.searchsorted(level[order], np.arange(self.n_levels + 1))
         self.rows_by_level = [order[bounds[k]: bounds[k + 1]]
@@ -91,6 +101,11 @@ class TriangularFactor:
 
         strict = sp.tril(work, k=-1).tocsr()
         self.schedule = LevelSchedule(strict)
+        self._finish_init(strict)
+
+    def _finish_init(self, strict: sp.csr_matrix) -> None:
+        # oriented strictly-lower part, kept for block-diagonal batching
+        self._strict = strict
         # pre-sliced per-level strictly-lower blocks
         self._level_rows = self.schedule.rows_by_level
         self._level_mats = [sp.csr_matrix(strict[rows]) if rows.size else None
@@ -125,3 +140,44 @@ class TriangularFactor:
     @property
     def n_levels(self) -> int:
         return len(self.schedule)
+
+
+def concat_factors(factors: list[TriangularFactor]) -> TriangularFactor:
+    """Block-diagonal concatenation of same-orientation triangular factors.
+
+    The combined factor solves all the subproblems in one level-scheduled
+    sweep: its level count is the *maximum* over the inputs (not the sum),
+    and each level update is one wide sparse-times-dense-block product —
+    the BLAS-3 batching that lets the Schwarz preconditioner push dozens of
+    small per-subdomain solves through a single kernel.  Its flop charge
+    (``2 * nnz * p``) equals the sum of the per-factor charges exactly.
+
+    Block-diagonal structure means no cross-block dependencies, so the
+    per-row levels of each input carry over unchanged — no reanalysis.
+    """
+    if not factors:
+        raise ValueError("need at least one factor")
+    lower = factors[0].lower
+    unit = factors[0].unit_diagonal
+    if any(f.lower != lower or f.unit_diagonal != unit for f in factors):
+        raise ValueError("factors must share orientation and diagonal kind")
+    if len(factors) == 1:
+        return factors[0]
+    # Internals live in the *oriented* (lower-triangular) frame.  Lower
+    # factors concatenate in order; an upper concatenation is reversed as a
+    # whole, which reverses the block order and each block internally — and
+    # each internally-reversed block is exactly that factor's oriented form.
+    ordered = factors if lower else factors[::-1]
+    obj = TriangularFactor.__new__(TriangularFactor)
+    obj.n = int(sum(f.n for f in factors))
+    obj.lower = lower
+    obj.unit_diagonal = unit
+    obj.dtype = np.result_type(*(f.dtype for f in factors))
+    obj.nnz = int(sum(f.nnz for f in factors))
+    obj.diag = np.concatenate([f.diag for f in ordered])
+    obj._reorder = None if lower else np.arange(obj.n)[::-1]
+    strict = sp.block_diag([f._strict for f in ordered], format="csr")
+    levels = np.concatenate([f.schedule.level_of_row for f in ordered])
+    obj.schedule = LevelSchedule.from_levels(levels)
+    obj._finish_init(strict)
+    return obj

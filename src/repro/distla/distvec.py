@@ -4,8 +4,20 @@ The solver stack works on plain ndarrays (the distribution lives in the
 operator and the cost ledger), but the scalability analyses need genuinely
 partitioned vector objects to verify that every fused operation maps onto
 per-rank locals + the advertised collectives.  ``DistributedBlockVector``
-is that object: local blocks per rank, global assembly only on request,
-and all reductions routed through :mod:`repro.simmpi.collectives`.
+is that object, with two storage modes:
+
+* **fused** (default, via :meth:`from_global` under ``exec_mode="fused"``)
+  — one contiguous global backing array; ``locals`` are zero-copy views
+  into it, materialized lazily.  Reductions run as single einsums/GEMMs on
+  the backing store with one batched ledger charge, and the in-place
+  ``axpy_``/``scale_`` variants mutate it without allocating anything.
+* **per-rank** — one array per rank, every operation loops over the
+  virtual ranks and routes reductions through
+  :mod:`repro.simmpi.collectives`, exactly like a real MPI run partitions
+  the work.
+
+Both modes charge bit-identical ledger counts (the reduction payloads are
+the same arrays), which the equivalence tests assert.
 """
 
 from __future__ import annotations
@@ -14,6 +26,8 @@ import numpy as np
 
 from ..simmpi.collectives import allreduce_sum
 from ..simmpi.grid import VirtualGrid
+from ..util import ledger
+from ..util.execmode import exec_mode
 from ..util.misc import as_block
 
 __all__ = ["DistributedBlockVector"]
@@ -34,48 +48,105 @@ class DistributedBlockVector:
         if len(locals_) != grid.nranks:
             raise ValueError(f"expected {grid.nranks} local blocks")
         p = as_block(locals_[0]).shape[1]
-        self.locals = []
+        checked = []
         for r, loc in enumerate(locals_):
             loc = as_block(loc)
             if loc.shape != (grid.local_size(r), p):
                 raise ValueError(
                     f"rank {r}: local block {loc.shape} != "
                     f"({grid.local_size(r)}, {p})")
-            self.locals.append(loc)
+            checked.append(loc)
+        self._locals: list[np.ndarray] | None = checked
+        self._data: np.ndarray | None = None
         self.grid = grid
         self.p = p
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_global(cls, grid: VirtualGrid, x: np.ndarray
-                    ) -> "DistributedBlockVector":
-        """Scatter a global array into per-rank blocks (copying)."""
+    def _from_data(cls, grid: VirtualGrid, data: np.ndarray
+                   ) -> "DistributedBlockVector":
+        """Wrap a contiguous global array as a fused-storage vector."""
+        obj = cls.__new__(cls)
+        obj.grid = grid
+        obj._data = data
+        obj._locals = None
+        obj.p = data.shape[1]
+        return obj
+
+    @classmethod
+    def from_global(cls, grid: VirtualGrid, x: np.ndarray, *,
+                    mode: str | None = None) -> "DistributedBlockVector":
+        """Scatter a global array into per-rank blocks (copying).
+
+        Under ``exec_mode="fused"`` (or ``mode="fused"``) the copy is one
+        contiguous backing array and the per-rank blocks are views into it.
+        """
         x = as_block(x)
         if x.shape[0] != grid.n:
             raise ValueError(f"global array has {x.shape[0]} rows, grid "
                              f"expects {grid.n}")
+        if (mode or exec_mode()) == "fused":
+            return cls._from_data(grid, x.copy())
         return cls(grid, [x[grid.rows(r)].copy() for r in range(grid.nranks)])
 
     def to_global(self) -> np.ndarray:
         """Assemble the global array (an allgather in a real run)."""
-        return np.concatenate(self.locals, axis=0)
+        if self._data is not None:
+            return self._data.copy()
+        return np.concatenate(self._locals, axis=0)
+
+    # ------------------------------------------------------------------
+    @property
+    def locals(self) -> list[np.ndarray]:
+        """Per-rank row blocks (zero-copy views in fused storage)."""
+        if self._locals is None:
+            data, grid = self._data, self.grid
+            self._locals = [data[grid.rows(r)] for r in range(grid.nranks)]
+        return self._locals
+
+    @property
+    def global_data(self) -> np.ndarray | None:
+        """The contiguous backing array, or ``None`` for per-rank storage."""
+        return self._data
+
+    @property
+    def is_fused(self) -> bool:
+        return self._data is not None
+
+    def _fused_with(self, other: "DistributedBlockVector | None" = None) -> bool:
+        """True when the fused fast path applies to this operation."""
+        if exec_mode() != "fused" or self._data is None:
+            return False
+        return other is None or other._data is not None
 
     # ------------------------------------------------------------------
     def dot(self, other: "DistributedBlockVector") -> np.ndarray:
         """Block inner product ``X^H Y`` (p x p), one global reduction."""
         self._check_compatible(other)
+        if self._fused_with(other):
+            out = self._data.conj().T @ other._data
+            ledger.current().reduction(nbytes=out.nbytes)
+            return out
         parts = [a.conj().T @ b for a, b in zip(self.locals, other.locals)]
         return allreduce_sum(self.grid, parts)
 
     def col_dots(self, other: "DistributedBlockVector") -> np.ndarray:
         """Column-wise <x_j, y_j>, one global reduction."""
         self._check_compatible(other)
+        if self._fused_with(other):
+            out = np.einsum("ij,ij->j", self._data.conj(), other._data)
+            ledger.current().reduction(nbytes=out.nbytes)
+            return out
         parts = [np.einsum("ij,ij->j", a.conj(), b)
                  for a, b in zip(self.locals, other.locals)]
         return allreduce_sum(self.grid, parts)
 
     def norms(self) -> np.ndarray:
         """Column 2-norms, one global reduction."""
+        if self._fused_with():
+            sq = np.einsum("ij,ij->j", self._data.conj(), self._data).real
+            ledger.current().reduction(nbytes=sq.nbytes)
+            return np.sqrt(sq)
         parts = [np.einsum("ij,ij->j", a.conj(), a).real
                  for a in self.locals]
         return np.sqrt(allreduce_sum(self.grid, parts))
@@ -84,23 +155,56 @@ class DistributedBlockVector:
     def axpy(self, alpha, other: "DistributedBlockVector") -> "DistributedBlockVector":
         """self + alpha * other (elementwise or per-column alpha)."""
         self._check_compatible(other)
+        if self._fused_with(other):
+            return DistributedBlockVector._from_data(
+                self.grid, self._data + alpha * other._data)
         return DistributedBlockVector(
             self.grid, [a + alpha * b
                         for a, b in zip(self.locals, other.locals)])
 
     def scale(self, alpha) -> "DistributedBlockVector":
+        if self._fused_with():
+            return DistributedBlockVector._from_data(self.grid,
+                                                     alpha * self._data)
         return DistributedBlockVector(self.grid,
                                       [alpha * a for a in self.locals])
 
     def combine(self, coeffs: np.ndarray) -> "DistributedBlockVector":
         """Right-multiply by a small (p x q) matrix — purely local."""
         coeffs = np.asarray(coeffs)
+        if self._fused_with():
+            return DistributedBlockVector._from_data(self.grid,
+                                                     self._data @ coeffs)
         return DistributedBlockVector(self.grid,
                                       [a @ coeffs for a in self.locals])
 
     def copy(self) -> "DistributedBlockVector":
+        if self._data is not None:
+            return DistributedBlockVector._from_data(self.grid,
+                                                     self._data.copy())
         return DistributedBlockVector(self.grid,
                                       [a.copy() for a in self.locals])
+
+    # -- in-place variants (no per-rank list allocation in hot loops) ------
+    def axpy_(self, alpha, other: "DistributedBlockVector"
+              ) -> "DistributedBlockVector":
+        """In-place ``self += alpha * other``; returns self."""
+        self._check_compatible(other)
+        if self._data is not None and other._data is not None:
+            self._data += alpha * other._data
+        else:
+            for a, b in zip(self.locals, other.locals):
+                a += alpha * b
+        return self
+
+    def scale_(self, alpha) -> "DistributedBlockVector":
+        """In-place ``self *= alpha``; returns self."""
+        if self._data is not None:
+            self._data *= alpha
+        else:
+            for a in self.locals:
+                a *= alpha
+        return self
 
     # ------------------------------------------------------------------
     def _check_compatible(self, other: "DistributedBlockVector") -> None:

@@ -33,7 +33,7 @@ import scipy.sparse as sp
 
 from ..util import ledger
 from ..util.ledger import Kernel
-from ..util.misc import as_block, column_norms, result_dtype
+from ..util.misc import as_block, column_norms, identity_tag, result_dtype
 
 __all__ = [
     "Operator",
@@ -59,8 +59,9 @@ class Operator:
         self._matmat = matmat
         self.nnz = nnz
         self._diag = diag
-        # identity tag used for same-system detection in sequences
-        self.tag = tag if tag is not None else id(matmat)
+        # identity tag used for same-system detection in sequences;
+        # monotonic (never reused after GC), unlike a bare id()
+        self.tag = tag if tag is not None else identity_tag(matmat)
 
     def diagonal(self) -> np.ndarray:
         """Operator diagonal (needed by Jacobi/Chebyshev smoothers)."""
@@ -88,14 +89,17 @@ def as_operator(a: Any) -> Operator:
     if isinstance(a, Operator):
         return a
     if sp.issparse(a):
+        # tag the caller's object, not the (possibly fresh) tocsr() result,
+        # so repeated solves with the same matrix are detected as unchanged
+        tag = identity_tag(a)
         a = a.tocsr()
         return Operator(a.shape, a.dtype, lambda x, _a=a: _a @ x, nnz=a.nnz,
-                        tag=id(a), diag=np.asarray(a.diagonal()))
+                        tag=tag, diag=np.asarray(a.diagonal()))
     if isinstance(a, np.ndarray):
         if a.ndim != 2 or a.shape[0] != a.shape[1]:
             raise ValueError("dense operator must be a square 2-D array")
         return Operator(a.shape, a.dtype, lambda x, _a=a: _a @ x,
-                        nnz=a.shape[0] * a.shape[1], tag=id(a),
+                        nnz=a.shape[0] * a.shape[1], tag=identity_tag(a),
                         diag=np.diagonal(a).copy())
     # duck-typed: objects exposing shape/dtype/matmat (e.g. DistributedCSR)
     if hasattr(a, "matmat") and hasattr(a, "shape"):
@@ -107,7 +111,11 @@ def as_operator(a: Any) -> Operator:
                 diag = np.asarray(a.diagonal())
             except (TypeError, ValueError):
                 diag = None
-        return Operator(tuple(a.shape), dtype, a.matmat, nnz=nnz, tag=id(a),
+        # honour the object's own tag (e.g. DistributedCSR's construction
+        # counter) so same-system detection survives the wrapping
+        tag = getattr(a, "tag", None)
+        return Operator(tuple(a.shape), dtype, a.matmat, nnz=nnz,
+                        tag=tag if tag is not None else identity_tag(a),
                         diag=diag)
     if callable(a):
         raise ValueError("bare callables need an explicit Operator(shape, dtype, fn) wrapper")

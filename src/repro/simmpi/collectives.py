@@ -5,6 +5,18 @@ address space) *and* charges the active cost ledger with what a real MPI
 implementation would pay: one logical "reduction" event per collective —
 the performance model expands that into ``2 log2(P)`` latency hops plus the
 bandwidth term.
+
+Every collective has two execution paths selected by the ambient
+:func:`repro.util.execmode.exec_mode`:
+
+* ``"fused"`` (default) — one vectorized numpy operation on the global
+  array plus one batched ledger charge;
+* ``"per_rank"`` — loop over the virtual ranks exactly as a real MPI run
+  would partition the work.
+
+The two are numerically equivalent (same operations, different blocking)
+and charge *bit-identical* ledger counts: the reduction payload is the
+same array either way, so ``nbytes`` matches exactly.
 """
 
 from __future__ import annotations
@@ -12,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..util import ledger
+from ..util.execmode import exec_mode
 from .grid import VirtualGrid
 
 __all__ = ["allreduce_sum", "allgather_rows", "dot_columns", "norm_columns"]
@@ -24,9 +37,13 @@ def allreduce_sum(grid: VirtualGrid, contributions: list[np.ndarray]) -> np.ndar
     """
     if len(contributions) != grid.nranks:
         raise ValueError(f"expected {grid.nranks} contributions, got {len(contributions)}")
-    out = np.zeros_like(contributions[0])
-    for c in contributions:
-        out += c
+    if exec_mode() == "fused" and len(contributions) > 1:
+        first = np.asarray(contributions[0])
+        out = np.stack(contributions).sum(axis=0, dtype=first.dtype)
+    else:
+        out = np.zeros_like(contributions[0])
+        for c in contributions:
+            out += c
     ledger.current().reduction(nbytes=out.nbytes)
     return out
 
@@ -48,7 +65,11 @@ def allgather_rows(grid: VirtualGrid, locals_: list[np.ndarray]) -> np.ndarray:
 
 
 def dot_columns(grid: VirtualGrid, x: np.ndarray, y: np.ndarray) -> np.ndarray:
-    """Column-wise inner products computed rank-by-rank then all-reduced."""
+    """Column-wise inner products: one fused einsum or rank-by-rank parts."""
+    if exec_mode() == "fused":
+        out = np.einsum("ij,ij->j", x.conj(), y)
+        ledger.current().reduction(nbytes=out.nbytes)
+        return out
     parts = []
     for r in range(grid.nranks):
         rows = grid.rows(r)
@@ -58,6 +79,10 @@ def dot_columns(grid: VirtualGrid, x: np.ndarray, y: np.ndarray) -> np.ndarray:
 
 def norm_columns(grid: VirtualGrid, x: np.ndarray) -> np.ndarray:
     """Column 2-norms via one all-reduce of the squared partial sums."""
+    if exec_mode() == "fused":
+        sq = np.einsum("ij,ij->j", x.conj(), x).real
+        ledger.current().reduction(nbytes=sq.nbytes)
+        return np.sqrt(sq)
     parts = []
     for r in range(grid.nranks):
         rows = grid.rows(r)

@@ -18,9 +18,10 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..util import ledger
+from ..util.ledger import CostTable
 from .grid import VirtualGrid
 
-__all__ = ["HaloPlan", "build_halo_plans"]
+__all__ = ["HaloPlan", "build_halo_plans", "aggregate_halo_cost"]
 
 
 class HaloPlan:
@@ -50,10 +51,30 @@ class HaloPlan:
                                  nbytes=self.n_ghost * itemsize * p)
 
 
+def aggregate_halo_cost(plans: list[HaloPlan], *,
+                        flops_per_col: float = 0.0) -> CostTable:
+    """Sum per-rank halo traffic into one :class:`CostTable`.
+
+    The fused SpMM replays this table instead of looping
+    ``plan.charge(...)`` over every rank; the totals are identical because
+    a rank with neighbours always has ghosts (and vice versa), so summing
+    over all ranks equals summing over the charging ranks.
+    """
+    return CostTable(
+        p2p_messages=int(sum(pl.n_neighbours for pl in plans)),
+        p2p_items=int(sum(pl.n_ghost for pl in plans)),
+        flops_per_col=flops_per_col,
+    )
+
+
 def build_halo_plans(a: sp.csr_matrix, grid: VirtualGrid) -> list[HaloPlan]:
     """One :class:`HaloPlan` per rank from the global sparsity pattern."""
     if a.shape[0] != grid.n or a.shape[1] != grid.n:
         raise ValueError(f"matrix shape {a.shape} does not match grid n={grid.n}")
+    if grid.nranks == 1:
+        # trivial distribution: no ghosts, and no point scanning the pattern
+        empty = np.empty(0, dtype=np.int64)
+        return [HaloPlan(0, empty, empty)]
     plans = []
     indptr, indices = a.indptr, a.indices
     for r in range(grid.nranks):

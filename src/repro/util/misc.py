@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import itertools
+import weakref
+from typing import Any
+
 import numpy as np
 
 __all__ = [
@@ -11,7 +15,53 @@ __all__ = [
     "is_complex_dtype",
     "default_rng",
     "relative_residual_norms",
+    "next_tag",
+    "identity_tag",
 ]
+
+
+_TAG_COUNTER = itertools.count(1)
+# id(obj) -> (weakref, tag); entries are dropped when the object dies, and
+# a stale entry whose id() was recycled is detected by the ref check below.
+_TAG_REGISTRY: dict[int, tuple[Any, int]] = {}
+
+
+def next_tag() -> int:
+    """A process-unique monotonic identity tag.
+
+    Unlike ``id()``, a tag is never reused after garbage collection, so it
+    is safe for same-system detection across solver sequences (a recycled
+    ``id`` could spuriously re-enable the unchanged-operator fast path).
+    """
+    return next(_TAG_COUNTER)
+
+
+def _drop_dead_tag(key: int) -> None:
+    entry = _TAG_REGISTRY.get(key)
+    if entry is not None and entry[0]() is None:
+        del _TAG_REGISTRY[key]
+
+
+def identity_tag(obj: Any) -> int:
+    """Stable monotonic tag for a live object (the GC-safe ``id``).
+
+    Repeated calls on the same live object return the same tag; a new
+    object always gets a fresh tag even if it reuses the old address.
+    Objects that cannot be weak-referenced get a fresh tag on every call —
+    same-system detection then degrades to a (safe) false negative.
+    """
+    key = id(obj)
+    entry = _TAG_REGISTRY.get(key)
+    if entry is not None and entry[0]() is obj:
+        return entry[1]
+    tag = next(_TAG_COUNTER)
+    try:
+        ref = weakref.ref(obj)
+        weakref.finalize(obj, _drop_dead_tag, key)
+    except TypeError:
+        return tag
+    _TAG_REGISTRY[key] = (ref, tag)
+    return tag
 
 
 def as_block(x: np.ndarray, *, copy: bool = False) -> np.ndarray:

@@ -14,6 +14,8 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
+from .execmode import EXEC_MODES
+
 __all__ = ["Options", "OptionError", "parse_hpddm_args"]
 
 
@@ -83,6 +85,14 @@ class Options:
         restart-level variant for the ablation study).
     recycle_target:
         which end of the (harmonic) Ritz spectrum to retain.
+    exec_mode:
+        execution mode of the simulated-MPI substrate for the duration of
+        a solve: ``"fused"`` (vectorized global kernels, O(1) ledger
+        charges from precomputed cost tables) or ``"per_rank"`` (loop over
+        the virtual ranks — the validation oracle).  ``None`` (default)
+        inherits the ambient :func:`repro.util.execmode.exec_mode`, whose
+        process default is ``"fused"``.  Both modes charge bit-identical
+        ledger counts.
     initial_deflation_tol / enlarge... reserved knobs kept for CLI parity.
     """
 
@@ -99,6 +109,7 @@ class Options:
     deflation_tol: float = 1.0e-12
     recycle_target: str = "smallest"
     block_reduction: bool = False
+    exec_mode: str | None = None
     verbosity: int = 0
     check_invariants: bool = False
     extra: dict[str, Any] = field(default_factory=dict)
@@ -127,6 +138,10 @@ class Options:
         if self.recycle_target not in _TARGETS:
             raise OptionError(
                 f"unknown recycle_target {self.recycle_target!r}; expected one of {_TARGETS}"
+            )
+        if self.exec_mode is not None and self.exec_mode not in EXEC_MODES:
+            raise OptionError(
+                f"unknown exec_mode {self.exec_mode!r}; expected one of {EXEC_MODES}"
             )
         if self.gmres_restart < 1:
             raise OptionError("gmres_restart must be >= 1")
@@ -188,6 +203,8 @@ class Options:
             ]
             if self.recycle_same_system:
                 args.append("-hpddm_recycle_same_system")
+        if self.exec_mode is not None:
+            args += ["-hpddm_exec_mode", self.exec_mode]
         return args
 
 
