@@ -1,18 +1,32 @@
 #!/usr/bin/env bash
-# Repo check: tier-1 tests + the fused-engine perf gate.
+# Repo check: tier-1 tests + slow matrix + coverage floor + perf gate.
 #
-#   ./scripts/check.sh
+#   ./scripts/check.sh            # everything
+#   ./scripts/check.sh --fast     # tier-1 + perf gate only
 #
-# Fails if any tier-1 test fails, or if the fused execution engine is
-# slower than the per-rank oracle at nranks=64 (bench_micro_kernels
-# --quick --check).
+# Fails if any test fails, if statement coverage of src/repro/krylov/
+# drops below the floor in scripts/coverage_floor.py, or if the fused
+# execution engine is slower than the per-rank oracle at nranks=64
+# (bench_micro_kernels --quick --check).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
 
 echo "== tier-1 tests =="
 python -m pytest -x -q
+
+if [[ $fast -eq 0 ]]; then
+  echo
+  echo "== slow tier: full conformance matrix =="
+  python -m pytest -x -q -m slow
+
+  echo
+  echo "== coverage floor: src/repro/krylov/ =="
+  python scripts/coverage_floor.py
+fi
 
 echo
 echo "== perf gate: fused vs per-rank microkernels =="

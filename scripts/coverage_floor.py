@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Statement-coverage floor for the Krylov solvers — stdlib only.
+
+Runs the tier-1 pytest suite in-process under a ``sys.settrace`` hook
+that records executed lines *only* for frames whose code lives in
+``src/repro/krylov/`` (the global tracer returns ``None`` for every
+other frame, so the overhead stays bounded).  Executable lines are
+enumerated from the compiled code objects (``co_lines``), minus lines
+marked ``pragma: no cover``.
+
+Exit status is nonzero if total statement coverage of the package drops
+below the floor.  Raise the floor when you add tests; never lower it to
+merge.
+
+    PYTHONPATH=src python scripts/coverage_floor.py [--floor PCT] [pytest args]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import threading
+import types
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TARGET = os.path.join(ROOT, "src", "repro", "krylov") + os.sep
+
+#: minimum total statement coverage (percent) of src/repro/krylov/
+DEFAULT_FLOOR = 90.0
+
+_executed: dict[str, set[int]] = {}
+
+
+def _tracer(frame, event, arg):
+    filename = frame.f_code.co_filename
+    if not filename.startswith(TARGET):
+        return None  # no local trace: other modules run at full speed
+    lines = _executed.setdefault(filename, set())
+
+    def local(frame, event, arg):
+        if event == "line":
+            lines.add(frame.f_lineno)
+        return local
+
+    if event == "call":
+        lines.add(frame.f_lineno)
+        return local
+    return None
+
+
+def _code_lines(co: types.CodeType) -> set[int]:
+    lines = {ln for (_, _, ln) in co.co_lines() if ln}
+    for const in co.co_consts:
+        if isinstance(const, types.CodeType):
+            lines |= _code_lines(const)
+    return lines
+
+
+def _executable_lines(path: str) -> set[int]:
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    lines = _code_lines(compile(source, path, "exec"))
+    for i, text in enumerate(source.splitlines(), start=1):
+        if "pragma: no cover" in text:
+            lines.discard(i)
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--floor", type=float, default=DEFAULT_FLOOR,
+                    help="minimum total coverage percent (default: %(default)s)")
+    ap.add_argument("pytest_args", nargs="*",
+                    help="extra args forwarded to pytest (default: tests)")
+    ns = ap.parse_args(argv)
+
+    src = os.path.join(ROOT, "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    import pytest  # after sys.path setup, before tracing
+
+    sys.settrace(_tracer)
+    threading.settrace(_tracer)
+    try:
+        rc = pytest.main(["-x"] + (ns.pytest_args or [os.path.join(ROOT, "tests")]))
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+    if rc != 0:
+        print(f"coverage_floor: pytest failed (exit {rc})", file=sys.stderr)
+        return int(rc)
+
+    total_exec = total_hit = 0
+    rows = []
+    for dirpath, _, names in os.walk(TARGET):
+        for name in sorted(names):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            executable = _executable_lines(path)
+            hit = _executed.get(path, set()) & executable
+            total_exec += len(executable)
+            total_hit += len(hit)
+            pct = 100.0 * len(hit) / len(executable) if executable else 100.0
+            rows.append((os.path.relpath(path, ROOT), len(hit),
+                         len(executable), pct))
+
+    width = max(len(r[0]) for r in rows)
+    print(f"\n{'file':<{width}}  covered  stmts    pct")
+    for rel, nhit, nexe, pct in rows:
+        print(f"{rel:<{width}}  {nhit:7d}  {nexe:5d}  {pct:5.1f}%")
+    total_pct = 100.0 * total_hit / total_exec if total_exec else 100.0
+    print(f"{'TOTAL':<{width}}  {total_hit:7d}  {total_exec:5d}  {total_pct:5.1f}%")
+
+    if total_pct < ns.floor:
+        print(f"\ncoverage_floor: {total_pct:.1f}% < floor {ns.floor:.1f}% "
+              f"on src/repro/krylov/", file=sys.stderr)
+        return 1
+    print(f"\ncoverage_floor: {total_pct:.1f}% >= floor {ns.floor:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

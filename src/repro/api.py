@@ -29,6 +29,7 @@ from .krylov.recycling import RecycledSubspace
 from .util.execmode import use_exec_mode
 from .util.misc import as_block
 from .util.options import Options
+from . import verify
 
 __all__ = ["solve", "Solver"]
 
@@ -42,6 +43,11 @@ def solve(a, b, m=None, *, options: Options | None = None,
     Parameters mirror the individual solver functions; ``recycle`` and
     ``same_system`` are only consumed by the recycling methods.
 
+    With ``options.verify != "off"`` one :class:`~repro.verify.InvariantChecker`
+    is activated around the whole solve (so solver hooks and distributed-QR
+    hooks feed a single report, returned in ``result.info["verify"]``), and
+    the reported final residual is cross-checked against ``||B - A X||``.
+
     >>> import scipy.sparse as sp, numpy as np
     >>> A = sp.diags([2.0] * 100)
     >>> b = np.ones(100)
@@ -50,6 +56,31 @@ def solve(a, b, m=None, *, options: Options | None = None,
     True
     """
     options = options or Options()
+    if options.verify != "off":
+        chk = verify.InvariantChecker(options.verify,
+                                      context=options.krylov_method)
+        with verify.activate(chk):
+            res = _dispatch_mode(a, b, m, options=options, x0=x0,
+                                 recycle=recycle, same_system=same_system)
+            # reported-vs-true residual at convergence.  Skipped under left
+            # preconditioning: the solver's residual is the *preconditioned*
+            # one, so a gap against ||B - A X|| is expected, not a defect.
+            if not (options.variant == "left" and m is not None):
+                reported = res.history.records[-1] if res.history.records \
+                    else None
+                if reported is not None:
+                    chk.check_final_residual(
+                        a, as_block(np.asarray(res.x)), as_block(np.asarray(b)),
+                        reported, options.tol, converged=res.converged,
+                        what="final residual")
+        res.info["verify"] = chk.report()
+        return res
+    return _dispatch_mode(a, b, m, options=options, x0=x0,
+                          recycle=recycle, same_system=same_system)
+
+
+def _dispatch_mode(a, b, m, *, options: Options, x0, recycle,
+                   same_system) -> SolveResult:
     if options.exec_mode is not None:
         with use_exec_mode(options.exec_mode):
             return _dispatch(a, b, m, options=options, x0=x0,

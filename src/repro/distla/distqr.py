@@ -27,9 +27,28 @@ import scipy.linalg as sla
 from ..simmpi.collectives import allreduce_sum
 from ..util import ledger
 from ..util.ledger import Kernel
+from .. import verify
 from .distvec import DistributedBlockVector
 
 __all__ = ["distributed_cholqr", "distributed_tsqr", "distributed_cgs_qr"]
+
+
+def _verify_qr(x: DistributedBlockVector, q: DistributedBlockVector,
+               r: np.ndarray, what: str) -> None:
+    """Report the factorization to the ambient invariant checker (if any).
+
+    Assembles the global arrays only at ``full`` level — the allgather this
+    implies in a real run is exactly why the check is opt-in.  Columns below
+    the numerical rank (zero/deficient diagonal of ``R``) are excluded from
+    the orthonormality test; the reconstruction test covers all of them.
+    """
+    chk = verify.current()
+    if not chk.wants_full:
+        return
+    d = np.abs(np.diagonal(r))
+    scale = float(d.max()) if d.size else 0.0
+    rank = int(np.count_nonzero(d > 1e-12 * scale)) if scale > 0 else 0
+    chk.check_qr(x.to_global(), q.to_global(), r, rank=rank, what=what)
 
 
 def distributed_cholqr(x: DistributedBlockVector
@@ -44,14 +63,18 @@ def distributed_cholqr(x: DistributedBlockVector
         r = np.linalg.cholesky(gram).conj().T
         led.flop(Kernel.BLAS3, 2.0 * grid.n * x.p ** 2)
         q = sla.solve_triangular(r.T, data.T, lower=True).T
-        return DistributedBlockVector._from_data(grid, q), r
+        qv = DistributedBlockVector._from_data(grid, q)
+        _verify_qr(x, qv, r, "distributed CholQR (fused)")
+        return qv, r
     parts = [a.conj().T @ a for a in x.locals]
     gram = allreduce_sum(grid, parts)           # the single reduction
     r = np.linalg.cholesky(gram).conj().T       # redundant on every rank
     led.flop(Kernel.BLAS3, 2.0 * grid.n * x.p ** 2)
     q_locals = [sla.solve_triangular(r.T, a.T, lower=True).T
                 for a in x.locals]
-    return DistributedBlockVector(grid, q_locals), r
+    qv = DistributedBlockVector(grid, q_locals)
+    _verify_qr(x, qv, r, "distributed CholQR")
+    return qv, r
 
 
 def distributed_tsqr(x: DistributedBlockVector
@@ -98,7 +121,9 @@ def distributed_tsqr(x: DistributedBlockVector
         q_locals = [np.linalg.lstsq(r_final.conj().T, a.conj().T,
                                     rcond=None)[0].conj().T
                     for a in x.locals]
-    return DistributedBlockVector(grid, q_locals), r_final
+    qv = DistributedBlockVector(grid, q_locals)
+    _verify_qr(x, qv, r_final, "distributed TSQR")
+    return qv, r_final
 
 
 def distributed_cgs_qr(x: DistributedBlockVector
@@ -125,7 +150,9 @@ def distributed_cgs_qr(x: DistributedBlockVector
             for w in work:
                 w[:, j] /= nrm
         r[j, j] = nrm
-    return DistributedBlockVector(grid, work), r
+    qv = DistributedBlockVector(grid, work)
+    _verify_qr(x, qv, r, "distributed CGS QR")
+    return qv, r
 
 
 def _fused_cgs_qr(x: DistributedBlockVector
@@ -149,4 +176,6 @@ def _fused_cgs_qr(x: DistributedBlockVector
         if nrm > 0:
             work[:, j] /= nrm
         r[j, j] = nrm
-    return DistributedBlockVector._from_data(grid, work), r
+    qv = DistributedBlockVector._from_data(grid, work)
+    _verify_qr(x, qv, r, "distributed CGS QR (fused)")
+    return qv, r

@@ -45,6 +45,7 @@ __all__ = [
     "ConvergenceHistory",
     "SolveResult",
     "eps_all_below",
+    "true_residual_norms",
 ]
 
 
@@ -307,6 +308,20 @@ def initial_state(a: Operator, b: np.ndarray, x0: np.ndarray | None
             raise ValueError(f"x0 shape {x.shape} does not match rhs {b.shape}")
         r = b - a.matmat(x)
     return x, b, r
+
+
+def true_residual_norms(a, x: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Per-column ``||b_j - A x_j||`` recomputed from scratch.
+
+    The reference quantity of the reported-vs-true residual invariant
+    (:mod:`repro.verify`): solvers report Hessenberg-tail estimates, and
+    this is what those estimates are checked against.
+    """
+    a = as_operator(a)
+    x = as_block(x)
+    b = as_block(b)
+    return column_norms(b - a.matmat(x.astype(result_dtype(a.dtype, b.dtype),
+                                              copy=False)))
 
 
 def residual_targets(b: np.ndarray, tol: float) -> np.ndarray:

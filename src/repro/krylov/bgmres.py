@@ -24,6 +24,7 @@ from ..util import ledger
 from ..util.ledger import Kernel
 from ..util.misc import as_block, column_norms
 from ..util.options import Options
+from ..verify import checker_for
 from .base import (ConvergenceHistory, IdentityPreconditioner, SolveResult,
                    as_operator, initial_state, residual_targets)
 from .cycle import block_arnoldi_cycle, complete_block
@@ -63,6 +64,7 @@ def bgmres(a, b, m=None, *, options: Options | None = None,
 
     restart = min(options.gmres_restart, max(n // p, 1))
     led = ledger.current()
+    chk = checker_for(options, context="bgmres")
     total_it = 0
     cycles = 0
     breakdown_seen = False
@@ -97,6 +99,11 @@ def bgmres(a, b, m=None, *, options: Options | None = None,
         z = state.z_stack(state.steps)
         x += z @ y
         led.flop(Kernel.BLAS3, 2.0 * n * z.shape[1] * p)
+        if chk.wants_full and not state.breakdown:
+            vst = state.v_stack()
+            chk.check_orthonormality(vst, what="block-Arnoldi basis")
+            chk.check_arnoldi(op_apply, z, vst, state.hqr.hessenberg(),
+                              what="block-Arnoldi relation")
         # explicit residual at restart
         if left_m is None:
             r = b2 - op_apply(x)
@@ -105,14 +112,22 @@ def bgmres(a, b, m=None, *, options: Options | None = None,
         rn = column_norms(r)
         led.reduction(nbytes=p * 8)
         converged = rn <= targets
+        if not chk.is_off and not state.breakdown:
+            safe = np.where(history.rhs_norms > 0, history.rhs_norms, 1.0)
+            chk.check_residual_gap(history.records[-1] * safe, rn,
+                                   history.rhs_norms, targets,
+                                   what=f"BGMRES restart {cycles}")
         history.records[-1] = rn / np.where(history.rhs_norms > 0,
                                             history.rhs_norms, 1.0)
 
     result_x = x[:, 0] if squeeze else x
     method = "fbgmres" if options.variant == "flexible" else "bgmres"
+    info = {"variant": options.variant, "restart": restart, "block_size": p}
+    if not chk.is_off:
+        info["verify"] = chk.report()
     return SolveResult(
         x=result_x, converged=converged, iterations=total_it,
         history=history, method=method, restarts=cycles,
         breakdown=breakdown_seen,
-        info={"variant": options.variant, "restart": restart, "block_size": p},
+        info=info,
     )

@@ -33,6 +33,7 @@ from ..util import ledger
 from ..util.ledger import Kernel
 from ..util.misc import as_block, column_norms
 from ..util.options import Options
+from ..verify import checker_for
 from .base import (ConvergenceHistory, IdentityPreconditioner, SolveResult,
                    as_operator, initial_state, residual_targets)
 from .cycle import block_arnoldi_cycle, complete_block
@@ -119,6 +120,7 @@ def gcrodr(a, b, m=None, *, options: Options | None = None,
     targets = residual_targets(b2, options.tol)
     identity_m = isinstance(inner_m, IdentityPreconditioner)
     led = ledger.current()
+    chk = checker_for(options, context="gcrodr")
 
     history = ConvergenceHistory(rhs_norms=column_norms(b2))
     rn = column_norms(r)
@@ -168,6 +170,13 @@ def gcrodr(a, b, m=None, *, options: Options | None = None,
                 c_k = np.ascontiguousarray(q[:, :rank])
                 u_k = _project_solve(u_k[:, piv[:rank]], rfac[:rank, :rank])
         if u_k.shape[1]:
+            # the recycled identities must hold here whether they were just
+            # re-established (lines 3-7) or assumed unchanged (the
+            # same-system skip) — the skip is exactly what the checker
+            # guards, since a stale/corrupt space fails silently otherwise
+            chk.check_recycle(u_k, c_k, op_apply=op_apply,
+                              what="adopted recycle space"
+                              + (" (same-system skip)" if same_system else ""))
             # lines 8-9: project the initial residual onto the recycled space
             chr0 = _gram_reduce(c_k, r)
             x += u_k @ chr0
@@ -206,10 +215,22 @@ def gcrodr(a, b, m=None, *, options: Options | None = None,
                 z = state.z_stack(state.steps)
                 x += z @ y
                 led.flop(Kernel.BLAS3, 2.0 * n * z.shape[1] * p)
+                if chk.wants_full and not state.breakdown:
+                    vst = state.v_stack()
+                    chk.check_orthonormality(vst, what="harvest-cycle basis")
+                    chk.check_arnoldi(op_apply, z, vst,
+                                      state.hqr.hessenberg(),
+                                      what="harvest-cycle Arnoldi relation")
                 r = _explicit_residual()
                 rn = column_norms(r)
                 led.reduction(nbytes=p * 8)
                 converged = rn <= targets
+                if not chk.is_off and not state.breakdown:
+                    safe = np.where(history.rhs_norms > 0,
+                                    history.rhs_norms, 1.0)
+                    chk.check_residual_gap(history.records[-1] * safe, rn,
+                                           history.rhs_norms, targets,
+                                           what="harvest-cycle restart")
                 history.records[-1] = rn / np.where(history.rhs_norms > 0,
                                                     history.rhs_norms, 1.0)
                 # lines 16-20: harvest the recycled space
@@ -223,6 +244,8 @@ def gcrodr(a, b, m=None, *, options: Options | None = None,
                     c_k = vstack @ qf
                     u_k = z @ s
                     led.flop(Kernel.BLAS3, 4.0 * n * vstack.shape[1] * qf.shape[1])
+                    chk.check_recycle(u_k, c_k, op_apply=op_apply,
+                                      what="harvested recycle space")
 
     # ------------------------------------------------------------------
     # Lines 22-39: main GCRO-DR loop.
@@ -279,6 +302,15 @@ def gcrodr(a, b, m=None, *, options: Options | None = None,
             z = state.z_stack(state.steps)
             x += u_k @ yk + z @ y
             led.flop(Kernel.BLAS3, 2.0 * n * (k_cur + z.shape[1]) * p)
+            if chk.wants_full and not state.breakdown:
+                vst = state.v_stack()
+                # V must be orthonormal AND orthogonal to C_k (the cycle ran
+                # on the projected operator (I - C C^H) A)
+                chk.check_orthonormality(np.concatenate([c_k, vst], axis=1),
+                                         what="[C_k V] augmented basis")
+                chk.check_arnoldi(op_apply, z, vst, state.hqr.hessenberg(),
+                                  ck=c_k, ek=ek,
+                                  what="projected Arnoldi relation")
             # line 30: explicit residual
             r = _explicit_residual()
 
@@ -307,10 +339,17 @@ def gcrodr(a, b, m=None, *, options: Options | None = None,
                     c_k = cv @ qf                    # line 36
                     u_k = uz @ s                     # line 37
                     led.flop(Kernel.BLAS3, 4.0 * n * cv.shape[1] * qf.shape[1])
+                    chk.check_recycle(u_k, c_k, op_apply=op_apply,
+                                      what="updated recycle space")
 
         rn = column_norms(r)
         led.reduction(nbytes=p * 8)
         converged = rn <= targets
+        if not chk.is_off and not state.breakdown:
+            safe = np.where(history.rhs_norms > 0, history.rhs_norms, 1.0)
+            chk.check_residual_gap(history.records[-1] * safe, rn,
+                                   history.rhs_norms, targets,
+                                   what=f"GCRO-DR restart {cycles}")
         history.records[-1] = rn / np.where(history.rhs_norms > 0,
                                             history.rhs_norms, 1.0)
         if options.check_invariants and u_k is not None and u_k.shape[1]:
@@ -328,14 +367,17 @@ def gcrodr(a, b, m=None, *, options: Options | None = None,
     name = "gcrodr" if not is_block else "bgcrodr"
     if options.variant == "flexible":
         name = "f" + name
+    info = {"variant": options.variant, "restart": m_restart, "k": k,
+            "block_size": p, "recycle": out_recycle,
+            "strategy": options.recycle_strategy,
+            "same_system": bool(same_system)}
+    if not chk.is_off:
+        info["verify"] = chk.report()
     return SolveResult(
         x=result_x, converged=converged, iterations=total_it,
         history=history, method=name, restarts=cycles,
         breakdown=breakdown_seen,
-        info={"variant": options.variant, "restart": m_restart, "k": k,
-              "block_size": p, "recycle": out_recycle,
-              "strategy": options.recycle_strategy,
-              "same_system": bool(same_system)},
+        info=info,
     )
 
 
@@ -353,23 +395,20 @@ def check_recycle_invariants(a_apply, u: np.ndarray, c: np.ndarray, *,
                              tol: float = 1e-6) -> None:
     """Debug assertions on the recycled pair (``options.check_invariants``).
 
-    Verifies the two defining properties of GCRO-DR's recycled space:
-    ``C^H C = I`` and ``A U = C``.  Raises :class:`FloatingPointError` when
-    either drifts beyond ``tol`` — drift here means the restart updates have
-    gone numerically bad (e.g. a severely ill-conditioned harvest).
+    Legacy entry point predating :mod:`repro.verify`; now delegates to a
+    full-level :class:`~repro.verify.InvariantChecker` so the two defining
+    properties — ``C^H C = I`` and ``A U = C`` — are judged by the same
+    code as the ``-hpddm_verify`` hooks.  Raises
+    :class:`~repro.verify.InvariantViolation` (a
+    :class:`FloatingPointError`) when either drifts beyond ``tol``.
     """
     if u is None or u.shape[1] == 0:
         return
-    k = c.shape[1]
-    orth = np.linalg.norm(c.conj().T @ c - np.eye(k, dtype=c.dtype))
-    if orth > tol:
-        raise FloatingPointError(
-            f"recycled basis lost orthonormality: ||C^H C - I|| = {orth:.2e}")
-    au = a_apply(u)
-    rel = np.linalg.norm(au - c) / max(np.linalg.norm(au), 1e-300)
-    if rel > tol:
-        raise FloatingPointError(
-            f"recycled invariant A U = C violated: rel. error {rel:.2e}")
+    from ..verify import InvariantChecker
+    legacy = InvariantChecker("full", context="check_invariants")
+    legacy.recycle_orth_tol = tol
+    legacy.recycle_map_tol = tol
+    legacy.check_recycle(u, c, op_apply=a_apply, what="recycled pair")
 
 
 def _strategy_w(strategy: str, gm: np.ndarray, c_k: np.ndarray,

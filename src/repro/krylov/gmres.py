@@ -30,6 +30,7 @@ from ..util import ledger
 from ..util.ledger import Kernel
 from ..util.misc import as_block, column_norms
 from ..util.options import Options
+from ..verify import checker_for
 from .base import (ConvergenceHistory, IdentityPreconditioner, Operator,
                    Preconditioner, SolveResult, as_operator, as_preconditioner,
                    initial_state, residual_targets)
@@ -110,6 +111,7 @@ def gmres(a, b, m=None, *, options: Options | None = None,
     restart = min(options.gmres_restart, n)
     identity_m = isinstance(inner_m, IdentityPreconditioner)
     led = ledger.current()
+    chk = checker_for(options, context="gmres")
 
     total_it = 0
     cycles = 0
@@ -190,19 +192,41 @@ def gmres(a, b, m=None, *, options: Options | None = None,
             zl = z[:jc, :, l]
             x[:, l] += zl.T @ y
             led.flop(Kernel.BLAS2, 2.0 * n * jc)
+        if chk.wants_full:
+            # per-column Arnoldi relation and basis orthonormality: each RHS
+            # keeps its own recurrence, so each is checked independently
+            for l in range(p):
+                jc = col_iters[l]
+                if jc == 0:
+                    continue
+                v_l = np.ascontiguousarray(v[: jc + 1, :, l].T)
+                z_l = v_l[:, :jc] if identity_m else \
+                    np.ascontiguousarray(z[:jc, :, l].T)
+                chk.check_orthonormality(v_l, what=f"GMRES basis (column {l})")
+                chk.check_arnoldi(op_apply, z_l, v_l,
+                                  hqrs[l].hessenberg(),
+                                  what=f"GMRES Arnoldi relation (column {l})")
         # explicit residual at restart (cheap insurance against drift)
         r = b2 - op_apply(x) if left_m is None else np.asarray(left_m(
             b_in.astype(dtype) - a.matmat(x)))
         rn = column_norms(r)
         led.reduction(nbytes=p * 8)
         converged = rn <= targets
+        if not chk.is_off:
+            safe = np.where(history.rhs_norms > 0, history.rhs_norms, 1.0)
+            chk.check_residual_gap(history.records[-1] * safe, rn,
+                                   history.rhs_norms, targets,
+                                   what=f"GMRES restart {cycles}")
         history.records[-1] = rn / np.where(history.rhs_norms > 0,
                                             history.rhs_norms, 1.0)
 
     result_x = x[:, 0] if squeeze else x
     method = "fgmres" if options.variant == "flexible" else "gmres"
+    info = {"variant": options.variant, "restart": restart}
+    if not chk.is_off:
+        info["verify"] = chk.report()
     return SolveResult(
         x=result_x, converged=converged, iterations=total_it,
         history=history, method=method, restarts=cycles,
-        info={"variant": options.variant, "restart": restart},
+        info=info,
     )

@@ -26,6 +26,7 @@ from ..util import ledger
 from ..util.ledger import Kernel
 from ..util.misc import as_block, column_norms
 from ..util.options import Options
+from ..verify import checker_for
 from .base import (ConvergenceHistory, IdentityPreconditioner, SolveResult,
                    as_operator, initial_state, residual_targets)
 from .deflation import select_real_subspace
@@ -64,6 +65,7 @@ def gmresdr(a, b, m=None, *, options: Options | None = None,
     targets = residual_targets(b2, options.tol)
     identity_m = isinstance(inner_m, IdentityPreconditioner)
     led = ledger.current()
+    chk = checker_for(options, context="gmresdr")
 
     history = ConvergenceHistory(rhs_norms=column_norms(b2))
     rn = column_norms(r)
@@ -104,6 +106,7 @@ def gmresdr(a, b, m=None, *, options: Options | None = None,
 
         # ---- (augmented) Arnoldi from column `start` to m ----------------
         j = start
+        lucky = False
         while j < m_dim and total_it < options.max_it:
             zj = v[:, j] if identity_m else np.asarray(
                 inner_m(v[:, j].reshape(-1, 1)))[:, 0].astype(dtype)
@@ -123,6 +126,7 @@ def gmresdr(a, b, m=None, *, options: Options | None = None,
             total_it += 1
             j += 1
             if nrm <= 1e-300:
+                lucky = True
                 break
             v[:, j] = w / nrm
             # residual estimate via a small LS solve (redundant work)
@@ -145,6 +149,16 @@ def gmresdr(a, b, m=None, *, options: Options | None = None,
         else:
             dx = np.asarray(inner_m(v[:, :jc] @ y.reshape(-1, 1)))[:, 0]
         x[:, 0] += dx
+        if chk.wants_full:
+            # the augmented-Arnoldi relation A M V_jc = V_{jc+1} Hbar holds
+            # across deflated restarts for a constant M (Morgan's identity);
+            # Z is recomputed since only V is stored
+            v_jc = v[:, : jc + 1]
+            zst = v_jc[:, :jc] if identity_m else \
+                np.asarray(inner_m(v[:, :jc])).astype(dtype, copy=False)
+            chk.check_orthonormality(v_jc, what="augmented Arnoldi basis")
+            chk.check_arnoldi(op_apply, zst, v_jc, hbar[: jc + 1, :jc],
+                              what="augmented Arnoldi relation")
         if left_m is None:
             r = b2 - op_apply(x)
         else:
@@ -152,6 +166,13 @@ def gmresdr(a, b, m=None, *, options: Options | None = None,
         rn = column_norms(r)
         led.reduction()
         converged = rn <= targets
+        if not chk.is_off and not lucky:
+            # after a lucky breakdown the last recorded estimate predates
+            # the breakdown step, so the gap is not meaningful
+            safe = np.where(history.rhs_norms > 0, history.rhs_norms, 1.0)
+            chk.check_residual_gap(history.records[-1] * safe, rn,
+                                   history.rhs_norms, targets,
+                                   what=f"GMRES-DR restart {cycles}")
         history.records[-1] = rn / np.where(history.rhs_norms > 0,
                                             history.rhs_norms, 1.0)
         if np.all(converged):
@@ -179,8 +200,11 @@ def gmresdr(a, b, m=None, *, options: Options | None = None,
         led.flop(Kernel.BLAS3, 4.0 * n * (jc + 1) * (kk + 1))
 
     result_x = x[:, 0] if squeeze else x
+    info = {"variant": options.variant, "restart": m_dim, "k": k}
+    if not chk.is_off:
+        info["verify"] = chk.report()
     return SolveResult(
         x=result_x, converged=converged, iterations=total_it,
         history=history, method="gmresdr", restarts=cycles,
-        info={"variant": options.variant, "restart": m_dim, "k": k},
+        info=info,
     )

@@ -24,6 +24,7 @@ from ..util import ledger
 from ..util.ledger import Kernel
 from ..util.misc import as_block, column_norms
 from ..util.options import Options
+from ..verify import checker_for
 from .base import (ConvergenceHistory, IdentityPreconditioner, SolveResult,
                    as_operator, initial_state, residual_targets)
 from .deflation import harmonic_ritz_vectors, generalized_ritz_vectors
@@ -95,6 +96,7 @@ def pgcrodr(a, b, m=None, *, options: Options | None = None,
     targets = residual_targets(b2, options.tol)
     identity_m = isinstance(inner_m, IdentityPreconditioner)
     led = ledger.current()
+    chk = checker_for(options, context="pgcrodr")
 
     history = ConvergenceHistory(rhs_norms=column_norms(b2))
     rn = column_norms(r)
@@ -134,6 +136,17 @@ def pgcrodr(a, b, m=None, *, options: Options | None = None,
                     col.c = np.ascontiguousarray(q[:, :rank])
                     col.u = _project_solve(col.u[:, piv[:rank]],
                                            rfac[:rank, :rank])
+        if not chk.is_off:
+            # same story as gcrodr: whether the pairs were re-established
+            # (different operator) or assumed intact (same-system skip),
+            # each column's identities must hold before we project with them
+            for l, col in enumerate(cols):
+                if col.u is None:
+                    continue
+                chk.check_recycle(
+                    col.u, col.c, op_apply=op_apply,
+                    what=f"adopted recycle space (column {l})"
+                    + (" (same-system skip)" if same_system else ""))
         # fused init projection: X += U_l C_l^H r_l per column
         led.reduction(nbytes=p * 8)
         for l, col in enumerate(cols):
@@ -248,6 +261,34 @@ def pgcrodr(a, b, m=None, *, options: Options | None = None,
                 dx = dx + col.u @ yk
             x[:, l] += dx
             led.flop(Kernel.BLAS2, 2.0 * n * jc)
+        if chk.wants_full:
+            # per-column (projected) Arnoldi relation and orthonormality of
+            # [C_l V_l]; trailing lucky-breakdown zero columns are trimmed
+            # inside the checker
+            for l, col in enumerate(cols):
+                jc = col.steps
+                if jc == 0:
+                    continue
+                vst = np.ascontiguousarray(v[: jc + 1, :, l].T)
+                zst = vst[:, :jc] if identity_m else \
+                    np.ascontiguousarray(z[:jc, :, l].T)
+                if col.u is not None and not harvesting:
+                    ek = (np.concatenate(col.e_cols, axis=1)
+                          if col.e_cols else np.zeros((col.k, jc),
+                                                      dtype=dtype))
+                    chk.check_orthonormality(
+                        np.concatenate([col.c, vst], axis=1),
+                        what=f"[C V] augmented basis (column {l})")
+                    chk.check_arnoldi(
+                        op_apply, zst, vst, col.hqr.hessenberg(),
+                        ck=col.c, ek=ek,
+                        what=f"projected Arnoldi relation (column {l})")
+                else:
+                    chk.check_orthonormality(
+                        vst, what=f"Arnoldi basis (column {l})")
+                    chk.check_arnoldi(
+                        op_apply, zst, vst, col.hqr.hessenberg(),
+                        what=f"Arnoldi relation (column {l})")
         # fused explicit residual (one SpMM)
         if left_m is None:
             r = b2 - op_apply(x)
@@ -256,6 +297,11 @@ def pgcrodr(a, b, m=None, *, options: Options | None = None,
         rn = column_norms(r)
         led.reduction(nbytes=p * 8)
         converged = rn <= targets
+        if not chk.is_off:
+            safe = np.where(history.rhs_norms > 0, history.rhs_norms, 1.0)
+            chk.check_residual_gap(history.records[-1] * safe, rn,
+                                   history.rhs_norms, targets,
+                                   what=f"PGCRO-DR restart {cycles}")
         history.records[-1] = rn / np.where(history.rhs_norms > 0,
                                             history.rhs_norms, 1.0)
 
@@ -279,6 +325,9 @@ def pgcrodr(a, b, m=None, *, options: Options | None = None,
                         np.column_stack([z[i, :, l] for i in range(jc)])
                     col.c = vstack @ qf
                     col.u = zstack @ s
+                    chk.check_recycle(
+                        col.u, col.c, op_apply=op_apply,
+                        what=f"harvested recycle space (column {l})")
             elif not same_system and col.u is not None:
                 led.event("recycle_update")
                 dk = np.linalg.norm(col.u, axis=0)
@@ -306,6 +355,9 @@ def pgcrodr(a, b, m=None, *, options: Options | None = None,
                     uz = np.concatenate([u_tilde, zstack], axis=1)
                     col.c = cv @ qf
                     col.u = uz @ s
+                    chk.check_recycle(
+                        col.u, col.c, op_apply=op_apply,
+                        what=f"updated recycle space (column {l})")
         if harvesting and any(col.u is not None for col in cols):
             have_recycle = True
 
@@ -317,11 +369,14 @@ def pgcrodr(a, b, m=None, *, options: Options | None = None,
     name = "pgcrodr" if p > 1 else "gcrodr"
     if options.variant == "flexible":
         name = "f" + name
+    info = {"variant": options.variant, "restart": m_restart, "k": k,
+            "block_size": p, "recycle": out_recycle,
+            "strategy": options.recycle_strategy,
+            "same_system": bool(same_system)}
+    if not chk.is_off:
+        info["verify"] = chk.report()
     return SolveResult(
         x=result_x, converged=converged, iterations=total_it,
         history=history, method=name, restarts=cycles,
-        info={"variant": options.variant, "restart": m_restart, "k": k,
-              "block_size": p, "recycle": out_recycle,
-              "strategy": options.recycle_strategy,
-              "same_system": bool(same_system)},
+        info=info,
     )

@@ -132,6 +132,18 @@ class CostLedger:
     def total_flops(self) -> float:
         return float(sum(self.flops.values()))
 
+    def counts(self) -> tuple:
+        """Every accounted quantity as an exactly-comparable tuple.
+
+        Timers are excluded (wall-clock is never reproducible); all other
+        fields are integer- or exactly-representable-float-valued, so two
+        runs that charge the same events compare equal with ``==``.  This
+        is the quantity the fused-vs-per-rank conservation invariant (and
+        ``tests/test_exec_modes.py``) is stated over.
+        """
+        return (self.reductions, self.reduction_bytes, self.p2p_messages,
+                self.p2p_bytes, dict(self.flops), dict(self.calls))
+
     def summary(self) -> str:
         lines = [
             f"reductions      : {self.reductions} ({self.reduction_bytes} B)",

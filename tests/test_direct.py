@@ -15,7 +15,7 @@ from repro.direct.triangular import LevelSchedule, TriangularFactor
 from repro.util import ledger
 from repro.util.ledger import Kernel
 
-from conftest import complex_shifted, laplacian_1d, laplacian_2d
+from conftest import make_rng, complex_shifted, laplacian_1d, laplacian_2d
 
 
 def _random_sparse(rng, n, density=0.05, complex_=False):
@@ -276,7 +276,7 @@ class TestSparseLU:
 @given(n=st.integers(5, 60), seed=st.integers(0, 2**31 - 1),
        complex_=st.booleans())
 def test_property_lu_roundtrip(n, seed, complex_):
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     a = sp.random(n, n, density=min(1.0, 10 / n), random_state=seed)
     a = a + sp.diags(3.0 + rng.random(n) * n)
     if complex_:

@@ -10,6 +10,7 @@ from repro.distla.distqr import (distributed_cgs_qr, distributed_cholqr,
 from repro.distla.distvec import DistributedBlockVector
 from repro.simmpi.grid import VirtualGrid
 from repro.util import ledger
+from conftest import make_rng
 
 
 def _dist(rng, n=60, p=3, nranks=4, complex_=False):
@@ -126,7 +127,7 @@ class TestDistributedQR:
 @given(n=st.integers(12, 80), p=st.integers(1, 4),
        nranks=st.integers(1, 6), seed=st.integers(0, 2**31 - 1))
 def test_property_distributed_cholqr(n, p, nranks, seed):
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     nranks = min(nranks, n // max(p, 1), n)
     nranks = max(nranks, 1)
     x = rng.standard_normal((n, p))

@@ -12,8 +12,9 @@ from repro.krylov.bgmres import bgmres
 from repro.krylov.gmres import gmres
 from repro.util import ledger
 
-from conftest import (complex_shifted, convection_diffusion_1d, laplacian_1d,
-                      laplacian_2d, relative_residuals)
+from conftest import (complex_shifted, convection_diffusion_1d,
+                      laplacian_1d, laplacian_2d, make_rng,
+                      relative_residuals)
 
 
 def _opts(**kw):
@@ -146,7 +147,7 @@ class TestBlockCommunication:
 @settings(max_examples=10, deadline=None)
 @given(n=st.integers(20, 70), p=st.integers(1, 4), seed=st.integers(0, 2**31 - 1))
 def test_property_bgmres_solves_spd(n, p, seed):
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     a = laplacian_1d(n, shift=1.0)
     b = rng.standard_normal((n, p))
     res = bgmres(a, b, options=_opts(gmres_restart=min(25, max(n // p, 2)),

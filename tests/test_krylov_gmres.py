@@ -12,8 +12,9 @@ from repro.krylov.base import FunctionPreconditioner, Operator
 from repro.krylov.gmres import gmres
 from repro.util import ledger
 
-from conftest import (complex_shifted, convection_diffusion_1d, laplacian_1d,
-                      laplacian_2d, relative_residuals)
+from conftest import (complex_shifted, convection_diffusion_1d,
+                      laplacian_1d, laplacian_2d, make_rng,
+                      relative_residuals)
 
 
 class TestBasicConvergence:
@@ -228,7 +229,7 @@ class TestPseudoBlockFusion:
 @settings(max_examples=15, deadline=None)
 @given(n=st.integers(10, 80), p=st.integers(1, 3), seed=st.integers(0, 2**31 - 1))
 def test_property_gmres_solves_spd(n, p, seed):
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     a = laplacian_1d(n, shift=1.0)
     b = rng.standard_normal((n, p))
     res = gmres(a, b, options=Options(gmres_restart=min(30, n), tol=1e-9,

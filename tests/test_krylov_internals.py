@@ -14,7 +14,7 @@ from repro.la.dense import (hessenberg_harmonic_lhs, solve_upper_triangular,
                             sorted_eig, sorted_generalized_eig)
 from repro.util.misc import as_block, column_norms, relative_residual_norms
 
-from conftest import laplacian_1d
+from conftest import make_rng, laplacian_1d
 
 
 class TestCompleteBlock:
@@ -217,7 +217,7 @@ class TestBaseHelpers:
 @given(n=st.integers(8, 60), steps=st.integers(1, 6),
        p=st.integers(1, 3), seed=st.integers(0, 2**31 - 1))
 def test_property_arnoldi_relation(n, steps, p, seed):
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     steps = min(steps, max((n - p) // p, 1))
     a = as_operator(laplacian_1d(n, shift=0.5))
     r0 = rng.standard_normal((n, p))

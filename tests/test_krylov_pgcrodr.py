@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro import Options, Solver, solve
+from repro.krylov.base import FunctionPreconditioner
 from repro.krylov.gcrodr import gcrodr
 from repro.krylov.gmres import gmres
 from repro.krylov.pgcrodr import PseudoBlockRecycle, pgcrodr
@@ -155,3 +156,91 @@ class TestDispatchAndFusion:
         res = solve(a, rng.standard_normal((150, 2)), recycle=wrong,
                     options=_opts(gmres_restart=20, recycle=5))
         assert res.converged.all()   # silently starts fresh
+
+
+def _variable_jacobi(a):
+    """Jacobi sweep whose damping changes on every application.
+
+    A genuinely nonlinear/variable preconditioner (cf. paper section
+    III-C): the flexible variants must store Z and keep their algebra
+    exact, while left/right recurrences become invalid.
+    """
+    dinv = 1.0 / a.diagonal()
+    state = {"count": 0}
+
+    def apply(x):
+        state["count"] += 1
+        scale = 1.0 + 0.3 * np.sin(state["count"])
+        return (scale * dinv)[:, None] * x
+
+    return FunctionPreconditioner(apply, is_variable=True), state
+
+
+class TestFlexiblePreconditioning:
+    """FGCRO-DR: variable preconditioner + recycling + same-system skip."""
+
+    def test_variable_preconditioner_requires_flexible(self, rng):
+        a = laplacian_1d(100, shift=0.3)
+        m, _ = _variable_jacobi(a)
+        for variant in ("left", "right"):
+            with pytest.raises(ValueError, match="flexible"):
+                pgcrodr(a, rng.standard_normal((100, 2)), m,
+                        options=_opts(variant=variant))
+
+    def test_flexible_variable_preconditioner_converges(self, rng):
+        a = laplacian_1d(300, shift=0.2)
+        b = rng.standard_normal((300, 3))
+        m, state = _variable_jacobi(a)
+        res = pgcrodr(a, b, m, options=_opts(variant="flexible",
+                                             verify="full"))
+        assert state["count"] > 0          # M really was applied...
+        assert res.method == "fpgcrodr"    # ...and the flexible path ran
+        assert res.converged.all()
+        assert np.all(relative_residuals(a, res.x, b) < 1e-7)
+        rep = res.info["verify"]
+        assert rep["checks"] > 0 and not rep["violations"]
+
+    def test_flexible_recycled_space_invariants(self, rng):
+        """A U = C must hold even under a variable M: U is assembled from
+        the *stored* Z columns, and A (Z y) = (A Z) y by linearity."""
+        a = laplacian_1d(300, shift=0.1)
+        m, _ = _variable_jacobi(a)
+        res = pgcrodr(a, rng.standard_normal((300, 2)), m,
+                      options=_opts(variant="flexible", verify="full"))
+        for space in res.info["recycle"].spaces:
+            assert space is not None and space.k > 0
+            c = space.c
+            assert np.linalg.norm(c.conj().T @ c - np.eye(space.k)) < 1e-8
+            au = a @ space.u
+            assert np.linalg.norm(au - c) / np.linalg.norm(au) < 1e-6
+
+    def test_flexible_same_system_skips_updates(self, rng):
+        """Same-system optimization composes with flexible preconditioning:
+        adoption re-checks pass (A U = C is M-independent) and the skip of
+        Fig. 1 lines 3-7 / 31-38 still charges zero recycle updates."""
+        a = laplacian_1d(300, shift=0.1)
+        m, _ = _variable_jacobi(a)
+        o = _opts(variant="flexible", verify="full")
+        r1 = pgcrodr(a, rng.standard_normal((300, 2)), m, options=o)
+        m2, _ = _variable_jacobi(a)   # fresh state: M sequence differs
+        with ledger.install() as led:
+            r2 = pgcrodr(a, rng.standard_normal((300, 2)), m2, options=o,
+                         recycle=r1.info["recycle"], same_system=True)
+        assert r2.converged.all()
+        assert led.calls["recycle_update"] == 0
+        # no iteration-reduction claim here: with a *different* M sequence
+        # the deflation payoff is not guaranteed, only correctness is
+        assert r2.iterations <= 1.5 * r1.iterations
+        assert r2.info["same_system"] is True
+        assert not r2.info["verify"]["violations"]
+
+    def test_flexible_recycle_threads_through_solver(self, rng):
+        """Solver() threading works for the flexible pseudo-block path."""
+        a = laplacian_1d(400)
+        m, _ = _variable_jacobi(a)
+        s = Solver(m=m, options=_opts(variant="flexible"))
+        r1 = s.solve(a, rng.standard_normal((400, 2)))
+        r2 = s.solve(a, rng.standard_normal((400, 2)))
+        assert isinstance(s.recycled, PseudoBlockRecycle)
+        assert r2.converged.all()
+        assert r2.iterations < r1.iterations

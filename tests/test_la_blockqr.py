@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.la.blockqr import BlockHessenbergQR
+from conftest import make_rng
 
 
 def _random_hessenberg(rng, m, p, dtype=np.float64):
@@ -163,7 +164,7 @@ class TestQApplication:
 @settings(max_examples=20, deadline=None)
 @given(m=st.integers(1, 6), p=st.integers(1, 3), seed=st.integers(0, 2**31 - 1))
 def test_property_solution_minimizes(m, p, seed):
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     h = _random_hessenberg(rng, m, p)
     s1 = rng.standard_normal((p, p))
     hqr = BlockHessenbergQR(m, p, s1)
@@ -178,3 +179,70 @@ def test_property_solution_minimizes(m, p, seed):
         dy = 1e-3 * rng.standard_normal(y.shape)
         pert = np.linalg.norm(rhs - h @ (y + dy), axis=0)
         assert np.all(pert >= base - 1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(m=st.integers(1, 6), p=st.integers(1, 3),
+       seed=st.integers(0, 2**31 - 1), complex_=st.booleans())
+def test_property_residuals_match_lstsq(m, p, seed, complex_):
+    """Incremental residual estimates equal the true LS residuals — for
+    real and complex dtypes, including the degenerate p=1 block."""
+    dtype = np.complex128 if complex_ else np.float64
+    rng = make_rng(seed)
+    h = _random_hessenberg(rng, m, p, dtype)
+    s1 = rng.standard_normal((p, p)).astype(dtype)
+    if complex_:
+        s1 = s1 + 1j * rng.standard_normal((p, p))
+    hqr = BlockHessenbergQR(m, p, s1, dtype=dtype)
+    for j in range(m):
+        res = hqr.add_column(h[: (j + 2) * p, j * p: (j + 1) * p])
+        hj = h[: (j + 2) * p, : (j + 1) * p]
+        rhs = np.zeros(((j + 2) * p, p), dtype=dtype)
+        rhs[:p] = s1
+        y_ref, *_ = np.linalg.lstsq(hj, rhs, rcond=None)
+        ref = np.linalg.norm(rhs - hj @ y_ref, axis=0)
+        assert np.allclose(res, ref, atol=1e-8, rtol=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(m=st.integers(1, 5), seed=st.integers(0, 2**31 - 1),
+       complex_=st.booleans())
+def test_property_lucky_breakdown_gives_zero_residual(m, seed, complex_):
+    """A zero last subdiagonal (p=1 lucky breakdown) makes the projected
+    system square and consistent: the estimate must collapse to ~0."""
+    dtype = np.complex128 if complex_ else np.float64
+    rng = make_rng(seed)
+    h = _random_hessenberg(rng, m, 1, dtype)
+    h[m, m - 1] = 0.0  # exact breakdown on the final column
+    hqr = BlockHessenbergQR(m, 1, np.array([[1.0]], dtype=dtype), dtype=dtype)
+    res = None
+    for j in range(m):
+        res = hqr.add_column(h[: j + 2, j: j + 1])
+    assert res is not None and res[0] <= 1e-9 * max(np.abs(h).max(), 1.0)
+    y = hqr.solve()
+    rhs = np.zeros((m + 1, 1), dtype=dtype)
+    rhs[0, 0] = 1.0
+    assert np.linalg.norm(rhs - h @ y) <= 1e-8 * max(np.abs(h).max(), 1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(m=st.integers(2, 6), p=st.integers(1, 3), q_extra=st.integers(1, 2),
+       seed=st.integers(0, 2**31 - 1))
+def test_property_wide_rhs_block_reduction_shape(m, p, q_extra, seed):
+    """Under block-size reduction the tracked RHS block is wider (q > p);
+    solve() must return a jp x q coefficient matrix minimizing each column."""
+    rng = make_rng(seed)
+    q_cols = p + q_extra
+    h = _random_hessenberg(rng, m, p)
+    s1 = rng.standard_normal((p, q_cols))
+    hqr = BlockHessenbergQR(m, p, s1)
+    for j in range(m):
+        hqr.add_column(h[: (j + 2) * p, j * p: (j + 1) * p])
+    y = hqr.solve()
+    assert y.shape == (m * p, q_cols)
+    rhs = np.zeros(((m + 1) * p, q_cols))
+    rhs[:p] = s1
+    y_ref, *_ = np.linalg.lstsq(h, rhs, rcond=None)
+    assert np.allclose(np.linalg.norm(rhs - h @ y, axis=0),
+                       np.linalg.norm(rhs - h @ y_ref, axis=0),
+                       atol=1e-8)

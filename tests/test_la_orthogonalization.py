@@ -11,6 +11,7 @@ from repro.la.orthogonalization import (arnoldi_orthogonalize,
                                         modified_gram_schmidt_qr, project_out,
                                         qr_factorization, shifted_cholqr, tsqr)
 from repro.util import ledger
+from conftest import make_rng
 
 
 def _random_block(rng, n, p, complex_=False, cond=None):
@@ -200,7 +201,7 @@ class TestDispatch:
 @given(n=st.integers(10, 120), p=st.integers(1, 6),
        seed=st.integers(0, 2**31 - 1), complex_=st.booleans())
 def test_property_cholqr_reconstructs(n, p, seed, complex_):
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     p = min(p, n)
     x = _random_block(rng, n, p, complex_=complex_)
     q, r, rank = qr_factorization(x, "cholqr")
@@ -213,7 +214,7 @@ def test_property_cholqr_reconstructs(n, p, seed, complex_):
 @given(n=st.integers(20, 100), k=st.integers(1, 8), p=st.integers(1, 4),
        seed=st.integers(0, 2**31 - 1))
 def test_property_projection_idempotent(n, k, p, seed):
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     k = min(k, n - p)
     basis, _ = np.linalg.qr(rng.standard_normal((n, k)))
     w = rng.standard_normal((n, p))
@@ -222,3 +223,79 @@ def test_property_projection_idempotent(n, k, p, seed):
     # projecting twice changes nothing
     assert np.linalg.norm(w2 - w1) <= 1e-10 * max(np.linalg.norm(w), 1.0)
     assert np.linalg.norm(c2) <= 1e-10 * max(np.linalg.norm(w), 1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(12, 100), p=st.integers(2, 6), defect=st.integers(1, 3),
+       seed=st.integers(0, 2**31 - 1), complex_=st.booleans())
+def test_property_cholqr_rr_rank_deficient(n, p, defect, seed, complex_):
+    """Exactly dependent columns: rank detected, Q R still reconstructs."""
+    rng = make_rng(seed)
+    p = min(p, n // 2)
+    defect = min(defect, p - 1)
+    rank_true = p - defect
+    x = _random_block(rng, n, rank_true, complex_=complex_)
+    coeffs = rng.standard_normal((rank_true, defect))
+    if complex_:
+        coeffs = coeffs + 1j * rng.standard_normal(coeffs.shape)
+    full = np.concatenate([x, x @ coeffs], axis=1)
+    # tol must sit above the sqrt(eps_machine) floor that forming the Gram
+    # matrix imposes (squared conditioning) — the solver's deflation_tol
+    # contract, not a quirk of this test
+    q, r, rank = cholqr_rr(full, tol=1e-6)
+    assert rank == rank_true
+    assert np.allclose(q @ r, full, atol=1e-8 * max(np.linalg.norm(full), 1.0))
+    qa = q[:, :rank]
+    assert np.allclose(qa.conj().T @ qa, np.eye(rank), atol=1e-8)
+    assert np.allclose(q[:, rank:], 0.0)  # trailing columns zeroed, not junk
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(20, 100),
+       eps=st.sampled_from([1e-14, 1e-12, 1e-10, 1e-3, 1e-2]),
+       seed=st.integers(0, 2**31 - 1), complex_=st.booleans())
+def test_property_cholqr_rr_near_dependence_threshold(n, eps, seed, complex_):
+    """Nearly dependent columns land on the right side of the rank cutoff."""
+    rng = make_rng(seed)
+    basis, _ = np.linalg.qr(_random_block(rng, n, 4, complex_=complex_))
+    # third column leaves span{q0, q1} by exactly eps along q2
+    x = np.concatenate([basis[:, :2], basis[:, 1:2] + eps * basis[:, 2:3]],
+                       axis=1)
+    q, r, rank = cholqr_rr(x, tol=1e-6)
+    assert rank == (2 if eps < 1e-6 else 3)
+    assert np.allclose(q @ r, x, atol=1e-7)
+    qa = q[:, :rank]
+    assert np.allclose(qa.conj().T @ qa, np.eye(rank), atol=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(5, 100), seed=st.integers(0, 2**31 - 1),
+       complex_=st.booleans(),
+       scheme=st.sampled_from(["cholqr", "cholqr_rr", "tsqr", "householder",
+                               "cgs", "mgs"]))
+def test_property_p1_single_column_all_schemes(n, seed, complex_, scheme):
+    """The degenerate p=1 block: every scheme reduces to normalization."""
+    rng = make_rng(seed)
+    x = _random_block(rng, n, 1, complex_=complex_)
+    q, r, rank = qr_factorization(x, scheme)
+    assert rank == 1 and r.shape == (1, 1)
+    nrm = np.linalg.norm(x)
+    assert abs(abs(r[0, 0]) - nrm) <= 1e-10 * nrm
+    assert abs(np.linalg.norm(q) - 1.0) <= 1e-10
+    assert np.allclose(q @ r, x, atol=1e-10 * max(nrm, 1.0))
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(10, 80), p=st.integers(1, 4),
+       seed=st.integers(0, 2**31 - 1), complex_=st.booleans())
+def test_property_project_out_empty_and_complex(n, p, seed, complex_):
+    """k=0 basis is the identity; complex projections annihilate the basis."""
+    rng = make_rng(seed)
+    w = _random_block(rng, n, p, complex_=complex_)
+    w0, c0 = project_out(np.zeros((n, 0), dtype=w.dtype), w)
+    assert np.array_equal(w0, w) and c0.shape == (0, p)
+    k = min(4, n - p)
+    basis, _ = np.linalg.qr(_random_block(rng, n, k, complex_=complex_))
+    w2, _ = project_out(basis, w, scheme="imgs")
+    assert np.linalg.norm(basis.conj().T @ w2) <= \
+        1e-10 * max(np.linalg.norm(w), 1.0)

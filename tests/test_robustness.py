@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 from repro import Options, Solver, solve
 from repro.krylov.base import Operator
 
-from conftest import laplacian_1d, relative_residuals
+from conftest import make_rng, laplacian_1d, relative_residuals
 
 
 class TestScalingExtremes:
@@ -161,7 +161,7 @@ class TestSequenceRobustness:
 @given(n=st.integers(10, 100), shift=st.floats(0.05, 2.0),
        scale=st.floats(1e-6, 1e6), seed=st.integers(0, 2**31 - 1))
 def test_property_solution_correctness_under_scaling(n, shift, scale, seed):
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     a = sp.csr_matrix(laplacian_1d(n, shift=shift) * scale)
     b = rng.standard_normal(n)
     res = solve(a, b, options=Options(gmres_restart=min(30, n), tol=1e-9,
