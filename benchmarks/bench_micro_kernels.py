@@ -44,6 +44,7 @@ if __name__ == "__main__":  # allow running without PYTHONPATH=src
     if str(_src) not in sys.path:
         sys.path.insert(0, str(_src))
 
+from repro.direct.triangular import _levels_by_row_reference, _levels_frontier
 from repro.distla.distcsr import DistributedCSR
 from repro.distla.distqr import distributed_cholqr
 from repro.distla.distvec import DistributedBlockVector
@@ -111,6 +112,46 @@ def bench_kernels(cfg: dict) -> list[dict]:
     return rows
 
 
+def bench_level_schedule(cfg: dict) -> list[dict]:
+    """Level-schedule construction: frontier-batched vs per-row reference.
+
+    Two DAG shapes, matching where :class:`~repro.direct.triangular.
+    LevelSchedule` is built in practice:
+
+    * ``global_lu`` — the L factor of the benchmark Laplacian's LU: deep
+      and skinny (the adaptive fallback handles the narrow tail);
+    * ``block_diag`` — 64 subdomain factors concatenated block-diagonally,
+      the shape :func:`~repro.direct.triangular.concat_factors` analyzes
+      for the Schwarz preconditioner: wide frontiers, where the batched
+      propagation wins by an order of magnitude.
+    """
+    import scipy.sparse.linalg as spla
+
+    a = laplacian_2d(cfg["grid"]).tocsc()
+    sub = laplacian_2d(max(cfg["grid"] // 4, 4)).tocsc()
+    workloads = {
+        "global_lu": sp.tril(sp.csr_matrix(spla.splu(a).L), k=-1).tocsr(),
+        "block_diag": sp.block_diag(
+            [sp.tril(sp.csr_matrix(spla.splu(sub).L), k=-1)] * 64,
+            format="csr"),
+    }
+    impls = {"reference": _levels_by_row_reference,
+             "frontier": _levels_frontier}
+    rows = []
+    for workload, strict in workloads.items():
+        n = strict.shape[0]
+        ref = impls["reference"](n, strict.indptr, strict.indices)
+        assert np.array_equal(ref, impls["frontier"](
+            n, strict.indptr, strict.indices))
+        for mode, fn in impls.items():
+            seconds = _time(lambda: fn(n, strict.indptr, strict.indices),
+                            cfg["repeats"])
+            rows.append({"kernel": "level_schedule", "workload": workload,
+                         "nnz": int(strict.nnz), "n": n, "mode": mode,
+                         "seconds": seconds})
+    return rows
+
+
 def speedups(rows: list[dict]) -> dict[str, dict[str, float]]:
     """speedups[kernel][nranks] = per_rank time / fused time."""
     t = {(r["kernel"], r["nranks"], r["mode"]): r["seconds"] for r in rows}
@@ -125,6 +166,8 @@ def speedups(rows: list[dict]) -> dict[str, dict[str, float]]:
 
 def run(cfg: dict, out_path: Path | None) -> dict:
     rows = bench_kernels(cfg)
+    sched_rows = bench_level_schedule(cfg)
+    sched_t = {(r["workload"], r["mode"]): r["seconds"] for r in sched_rows}
     report = {
         "description": "fused vs per-rank execution of the simulated-MPI "
                        "substrate; seconds are best-of-N wall times",
@@ -133,6 +176,12 @@ def run(cfg: dict, out_path: Path | None) -> dict:
                     "repeats": cfg["repeats"]},
         "results": rows,
         "speedup_fused_over_per_rank": speedups(rows),
+        "level_schedule": {
+            "results": sched_rows,
+            "speedup_frontier_over_reference": {
+                w: sched_t[(w, "reference")] / sched_t[(w, "frontier")]
+                for w in {r["workload"] for r in sched_rows}},
+        },
     }
     if out_path is not None:
         out_path.parent.mkdir(exist_ok=True)
@@ -149,6 +198,16 @@ def print_report(report: dict) -> None:
         for key in sorted({k[1] for k in t if k[0] == kernel}):
             pr, fu = t[(kernel, key, "per_rank")], t[(kernel, key, "fused")]
             print(f"{kernel:>10} {key:>7} {pr:>12.3e} {fu:>12.3e} {pr / fu:>7.1f}x")
+    sched = report.get("level_schedule")
+    if sched:
+        st = {(r["workload"], r["mode"]): r for r in sched["results"]}
+        print(f"\n{'level_schedule':>14} {'workload':>11} {'reference':>12} "
+              f"{'frontier':>12} {'speedup':>8}")
+        for w, ratio in sorted(sched["speedup_frontier_over_reference"].items()):
+            rr, fr = st[(w, "reference")], st[(w, "frontier")]
+            print(f"{'nnz=' + str(rr['nnz']):>14} {w:>11} "
+                  f"{rr['seconds']:>12.3e} {fr['seconds']:>12.3e} "
+                  f"{ratio:>7.1f}x")
 
 
 def check_gate(report: dict) -> list[str]:

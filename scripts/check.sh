@@ -5,9 +5,11 @@
 #   ./scripts/check.sh --fast     # tier-1 + perf gate only
 #
 # Fails if any test fails, if statement coverage of src/repro/krylov/
-# drops below the floor in scripts/coverage_floor.py, or if the fused
-# execution engine is slower than the per-rank oracle at nranks=64
-# (bench_micro_kernels --quick --check).
+# or src/repro/service/ drops below the floors in
+# scripts/coverage_floor.py, if the fused execution engine is slower
+# than the per-rank oracle at nranks=64 (bench_micro_kernels --quick
+# --check), or if coalesced service solves are less than 2x cheaper per
+# request than sequential ones (bench_service --quick --check).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,13 +26,17 @@ if [[ $fast -eq 0 ]]; then
   python -m pytest -x -q -m slow
 
   echo
-  echo "== coverage floor: src/repro/krylov/ =="
+  echo "== coverage floors: src/repro/krylov/, src/repro/service/ =="
   python scripts/coverage_floor.py
 fi
 
 echo
 echo "== perf gate: fused vs per-rank microkernels =="
 python benchmarks/bench_micro_kernels.py --quick --check
+
+echo
+echo "== perf gate: solve service coalescing + setup cache =="
+python benchmarks/bench_service.py --quick --check
 
 echo
 echo "all checks passed"

@@ -1,18 +1,18 @@
 #!/usr/bin/env python
-"""Statement-coverage floor for the Krylov solvers — stdlib only.
+"""Statement-coverage floors for selected packages — stdlib only.
 
 Runs the tier-1 pytest suite in-process under a ``sys.settrace`` hook
-that records executed lines *only* for frames whose code lives in
-``src/repro/krylov/`` (the global tracer returns ``None`` for every
-other frame, so the overhead stays bounded).  Executable lines are
-enumerated from the compiled code objects (``co_lines``), minus lines
-marked ``pragma: no cover``.
+that records executed lines *only* for frames whose code lives in one of
+the target packages (the global tracer returns ``None`` for every other
+frame, so the overhead stays bounded).  Executable lines are enumerated
+from the compiled code objects (``co_lines``), minus lines marked
+``pragma: no cover``.
 
-Exit status is nonzero if total statement coverage of the package drops
-below the floor.  Raise the floor when you add tests; never lower it to
-merge.
+Each target carries its own floor; exit status is nonzero if any package
+drops below its floor.  Raise the floors when you add tests; never lower
+them to merge.
 
-    PYTHONPATH=src python scripts/coverage_floor.py [--floor PCT] [pytest args]
+    PYTHONPATH=src python scripts/coverage_floor.py [pytest args]
 """
 
 from __future__ import annotations
@@ -24,17 +24,22 @@ import threading
 import types
 
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-TARGET = os.path.join(ROOT, "src", "repro", "krylov") + os.sep
 
-#: minimum total statement coverage (percent) of src/repro/krylov/
-DEFAULT_FLOOR = 90.0
+#: package -> minimum total statement coverage (percent)
+FLOORS = {
+    os.path.join("src", "repro", "krylov"): 90.0,
+    os.path.join("src", "repro", "service"): 85.0,
+}
+
+TARGETS = {os.path.join(ROOT, rel) + os.sep: floor
+           for rel, floor in FLOORS.items()}
 
 _executed: dict[str, set[int]] = {}
 
 
 def _tracer(frame, event, arg):
     filename = frame.f_code.co_filename
-    if not filename.startswith(TARGET):
+    if not any(filename.startswith(t) for t in TARGETS):
         return None  # no local trace: other modules run at full speed
     lines = _executed.setdefault(filename, set())
 
@@ -67,10 +72,41 @@ def _executable_lines(path: str) -> set[int]:
     return lines
 
 
+def _report_target(target: str, floor: float) -> bool:
+    """Print the per-file table for one package; True if it meets its floor."""
+    total_exec = total_hit = 0
+    rows = []
+    for dirpath, _, names in os.walk(target):
+        for name in sorted(names):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            executable = _executable_lines(path)
+            hit = _executed.get(path, set()) & executable
+            total_exec += len(executable)
+            total_hit += len(hit)
+            pct = 100.0 * len(hit) / len(executable) if executable else 100.0
+            rows.append((os.path.relpath(path, ROOT), len(hit),
+                         len(executable), pct))
+
+    width = max(len(r[0]) for r in rows)
+    print(f"\n{'file':<{width}}  covered  stmts    pct")
+    for rel, nhit, nexe, pct in rows:
+        print(f"{rel:<{width}}  {nhit:7d}  {nexe:5d}  {pct:5.1f}%")
+    total_pct = 100.0 * total_hit / total_exec if total_exec else 100.0
+    print(f"{'TOTAL':<{width}}  {total_hit:7d}  {total_exec:5d}  {total_pct:5.1f}%")
+
+    rel = os.path.relpath(target, ROOT)
+    if total_pct < floor:
+        print(f"coverage_floor: {total_pct:.1f}% < floor {floor:.1f}% "
+              f"on {rel}", file=sys.stderr)
+        return False
+    print(f"coverage_floor: {total_pct:.1f}% >= floor {floor:.1f}% on {rel}")
+    return True
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--floor", type=float, default=DEFAULT_FLOOR,
-                    help="minimum total coverage percent (default: %(default)s)")
     ap.add_argument("pytest_args", nargs="*",
                     help="extra args forwarded to pytest (default: tests)")
     ns = ap.parse_args(argv)
@@ -91,34 +127,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"coverage_floor: pytest failed (exit {rc})", file=sys.stderr)
         return int(rc)
 
-    total_exec = total_hit = 0
-    rows = []
-    for dirpath, _, names in os.walk(TARGET):
-        for name in sorted(names):
-            if not name.endswith(".py"):
-                continue
-            path = os.path.join(dirpath, name)
-            executable = _executable_lines(path)
-            hit = _executed.get(path, set()) & executable
-            total_exec += len(executable)
-            total_hit += len(hit)
-            pct = 100.0 * len(hit) / len(executable) if executable else 100.0
-            rows.append((os.path.relpath(path, ROOT), len(hit),
-                         len(executable), pct))
-
-    width = max(len(r[0]) for r in rows)
-    print(f"\n{'file':<{width}}  covered  stmts    pct")
-    for rel, nhit, nexe, pct in rows:
-        print(f"{rel:<{width}}  {nhit:7d}  {nexe:5d}  {pct:5.1f}%")
-    total_pct = 100.0 * total_hit / total_exec if total_exec else 100.0
-    print(f"{'TOTAL':<{width}}  {total_hit:7d}  {total_exec:5d}  {total_pct:5.1f}%")
-
-    if total_pct < ns.floor:
-        print(f"\ncoverage_floor: {total_pct:.1f}% < floor {ns.floor:.1f}% "
-              f"on src/repro/krylov/", file=sys.stderr)
-        return 1
-    print(f"\ncoverage_floor: {total_pct:.1f}% >= floor {ns.floor:.1f}%")
-    return 0
+    ok = True
+    for target, floor in TARGETS.items():
+        ok &= _report_target(target, floor)
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -25,6 +25,7 @@ from .api import Solver, solve
 from .krylov.base import (FunctionPreconditioner, Operator, Preconditioner,
                           SolveResult, as_operator, as_preconditioner)
 from .krylov.recycling import RecycledSubspace, RecyclingStore
+from .service import SetupCache, SolveService, operator_fingerprint
 from .util.execmode import exec_mode, set_exec_mode, use_exec_mode
 from .util.ledger import CostLedger, CostTable, install as install_ledger
 from .util.options import Options, parse_hpddm_args
@@ -44,6 +45,9 @@ __all__ = [
     "SolveResult",
     "RecycledSubspace",
     "RecyclingStore",
+    "SolveService",
+    "SetupCache",
+    "operator_fingerprint",
     "CostLedger",
     "CostTable",
     "install_ledger",

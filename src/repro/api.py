@@ -26,6 +26,8 @@ from .krylov.gmresdr import gmresdr
 from .krylov.lgmres import lgmres
 from .krylov.pgcrodr import PseudoBlockRecycle, pgcrodr
 from .krylov.recycling import RecycledSubspace
+from .service.cache import SetupCache
+from .service.fingerprint import operator_fingerprint
 from .util.execmode import use_exec_mode
 from .util.misc import as_block
 from .util.options import Options
@@ -134,10 +136,23 @@ class Solver:
     "persistent memory ... allocated using a singleton class") and resolves
     the same-system fast path automatically:
 
-    * same operator object (or equal ``tag``) as the previous call — skip
-      the ``qr(A U_k)`` re-orthonormalization and freeze the recycled space
-      at restarts (``-hpddm_recycle_same_system``);
+    * same operator object (equal ``tag``) *and* unchanged entries (equal
+      value :class:`~repro.service.fingerprint.Fingerprint`) as the
+      previous call — skip the ``qr(A U_k)`` re-orthonormalization and
+      freeze the recycled space at restarts
+      (``-hpddm_recycle_same_system``).  The fingerprint guard means
+      mutating a matrix's ``data`` in place between solves correctly
+      disables the fast path (an identity tag alone cannot see that);
     * different operator — run the full variable-sequence update.
+
+    ``reset()`` drops the recycled subspace *and* both identity markers
+    (tag and fingerprint), so a reused Solver never silently adopts a
+    recycle space or the same-system fast path across a reset.
+
+    With a shared ``setup_cache`` (a :class:`repro.service.SetupCache`),
+    recycled subspaces are published under the operator's value
+    fingerprint, so repeat traffic against the same operator hits the
+    fast path even across *distinct* Solver instances.
 
     Example
     -------
@@ -151,36 +166,66 @@ class Solver:
     True
     """
 
-    def __init__(self, m=None, *, options: Options | None = None):
+    def __init__(self, m=None, *, options: Options | None = None,
+                 setup_cache: SetupCache | None = None):
         self.options = options or Options()
         self.preconditioner = m
+        self.setup_cache = setup_cache
         self.recycled: RecycledSubspace | PseudoBlockRecycle | None = None
         self._last_tag: Any = None
+        self._last_fingerprint = None
         self.results: list[SolveResult] = []
+
+    def _cache_kind(self) -> str:
+        from .service.service import _options_key, _recycle_kind
+        return _recycle_kind(_options_key(self.options))
 
     def solve(self, a, b, *, x0: np.ndarray | None = None,
               m=None, same_system: bool | None = None) -> SolveResult:
         """Solve the next system in the sequence."""
         op = as_operator(a)
+        fp = operator_fingerprint(a)
         if same_system is None:
             if self.options.recycle_same_system:
                 same_system = True
             elif self._last_tag is not None:
-                same_system = op.tag == self._last_tag
+                # identity alone is not enough: an in-place update of the
+                # matrix values keeps the tag but changes the fingerprint,
+                # and must re-establish A U = C, not skip it
+                same_system = (op.tag == self._last_tag
+                               and fp == self._last_fingerprint)
+        if self.recycled is None and self.setup_cache is not None:
+            space = self.setup_cache.get(fp, self._cache_kind())
+            if space is not None:
+                self.recycled = space
+                if same_system is None and not fp.opaque:
+                    # a value-fingerprint hit proves the operator equals the
+                    # one the cached space was built for
+                    same_system = True
         prec = m if m is not None else self.preconditioner
         res = solve(op, b, prec, options=self.options, x0=x0,
                     recycle=self.recycled, same_system=same_system)
         self._last_tag = op.tag
+        self._last_fingerprint = fp
         new_space = res.info.get("recycle")
         if new_space is not None:
             self.recycled = new_space
+            if self.setup_cache is not None:
+                new_space.fingerprint = fp
+                self.setup_cache.put(fp, self._cache_kind(), new_space)
         self.results.append(res)
         return res
 
     def reset(self) -> None:
-        """Drop the recycled subspace and history."""
+        """Drop the recycled subspace, history, and both identity markers.
+
+        After a reset the next solve can never be treated as same-system
+        (and never adopts this instance's previous recycle space), even
+        against the very same operator object.
+        """
         self.recycled = None
         self._last_tag = None
+        self._last_fingerprint = None
         self.results.clear()
 
     @property

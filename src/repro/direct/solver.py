@@ -25,7 +25,7 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from ..util import ledger
-from ..util.ledger import Kernel
+from ..util.ledger import CostLedger, Kernel
 from ..util.misc import as_block
 from .numeric import gilbert_peierls_lu
 from .ordering import compute_ordering
@@ -59,8 +59,18 @@ class SparseLU:
         if engine == "auto":
             engine = "gp" if self.n <= 1500 else "scipy"
         self.engine = engine
-        led = ledger.current()
+        # run the whole numeric phase under a private ledger and replay it
+        # onto the ambient one: totals are unchanged, and ``setup_cost``
+        # records exactly what this factorization charged — the quantity a
+        # setup cache amortizes (charged once per operator, not per solve)
+        led = CostLedger()
+        with ledger.install(led):
+            self._factorize(a, engine, ordering)
+        self.setup_cost = led
+        ledger.current().merge(led)
 
+    def _factorize(self, a: sp.spmatrix, engine: str, ordering: str) -> None:
+        led = ledger.current()
         if engine == "gp":
             perm_c = compute_ordering(a, ordering)
             factors = gilbert_peierls_lu(a, perm_c=perm_c)

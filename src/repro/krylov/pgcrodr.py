@@ -36,11 +36,18 @@ __all__ = ["pgcrodr", "PseudoBlockRecycle"]
 
 
 class PseudoBlockRecycle:
-    """Per-column recycled pairs for a pseudo-block sequence."""
+    """Per-column recycled pairs for a pseudo-block sequence.
 
-    def __init__(self, spaces: list[RecycledSubspace | None], op_tag=None):
+    ``fingerprint`` is the optional value-level operator identity stamped
+    by cache-backed callers (see
+    :class:`repro.krylov.recycling.RecycledSubspace`).
+    """
+
+    def __init__(self, spaces: list[RecycledSubspace | None], op_tag=None,
+                 fingerprint=None):
         self.spaces = spaces
         self.op_tag = op_tag
+        self.fingerprint = fingerprint
 
     @property
     def p(self) -> int:
@@ -48,6 +55,10 @@ class PseudoBlockRecycle:
 
     def matches_operator(self, tag) -> bool:
         return self.op_tag is not None and self.op_tag == tag
+
+    def matches_fingerprint(self, fingerprint) -> bool:
+        """Value-level match (stricter than ``matches_operator``)."""
+        return self.fingerprint is not None and self.fingerprint == fingerprint
 
 
 class _Column:

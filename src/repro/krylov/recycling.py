@@ -27,12 +27,19 @@ class RecycledSubspace:
     re-orthonormalize (``[Q,R] = qr(A U_k)``, paper lines 4-6) unless the
     caller promises the operator is unchanged
     (``-hpddm_recycle_same_system``).
+
+    ``fingerprint`` (when stamped by :class:`repro.service.SolveService`
+    or a cache-backed :class:`repro.api.Solver`) additionally pins the
+    operator's *values*: unlike ``op_tag``, it distinguishes an operator
+    whose entries were mutated in place, so cached spaces are never
+    adopted under the fast path against numerically different systems.
     """
 
     u: np.ndarray
     c: np.ndarray
     op_tag: Any = None
     meta: dict[str, Any] = field(default_factory=dict)
+    fingerprint: Any = None
 
     @property
     def k(self) -> int:
@@ -41,9 +48,13 @@ class RecycledSubspace:
     def matches_operator(self, tag: Any) -> bool:
         return self.op_tag is not None and self.op_tag == tag
 
+    def matches_fingerprint(self, fingerprint: Any) -> bool:
+        """Value-level match (stricter than ``matches_operator``)."""
+        return self.fingerprint is not None and self.fingerprint == fingerprint
+
     def copy(self) -> "RecycledSubspace":
         return RecycledSubspace(self.u.copy(), self.c.copy(), self.op_tag,
-                                dict(self.meta))
+                                dict(self.meta), self.fingerprint)
 
 
 class RecyclingStore:

@@ -29,7 +29,7 @@ from ..direct.solver import SparseLU
 from ..krylov.base import Preconditioner, as_operator
 from ..krylov.chebyshev import chebyshev_iteration, estimate_lambda_max
 from ..util import ledger
-from ..util.ledger import Kernel
+from ..util.ledger import CostLedger, Kernel
 from ..util.misc import as_block
 from .aggregation import greedy_aggregation, strength_graph, tentative_prolongator
 
@@ -119,9 +119,11 @@ class SmoothedAggregationAMG(Preconditioner):
         #: the preconditioner is variable
         self.is_variable = smoother in ("gmres", "cg") or coarse_solver == "cg"
         self.levels: list[AMGLevel] = []
-        led = ledger.current()
+        # private setup ledger, replayed onto the ambient one: totals are
+        # unchanged, and ``setup_cost`` records what a setup cache amortizes
+        led = CostLedger()
 
-        with led.timer("amg_setup"):
+        with ledger.install(led), led.timer("amg_setup"):
             ns = nullspace
             if ns is None:
                 ns = np.ones((a.shape[0], 1), dtype=self.dtype)
@@ -158,6 +160,8 @@ class SmoothedAggregationAMG(Preconditioner):
             # coarse solver
             self._coarse_lu = (SparseLU(self.levels[-1].a, engine="auto")
                                if coarse_solver == "lu" else None)
+        self.setup_cost = led
+        ledger.current().merge(led)
 
     # ------------------------------------------------------------------
     @property

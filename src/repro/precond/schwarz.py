@@ -33,7 +33,7 @@ from ..krylov.base import Preconditioner
 from ..problems.partition import OverlappingDecomposition, decompose
 from ..util import ledger
 from ..util.execmode import exec_mode
-from ..util.ledger import CostTable
+from ..util.ledger import CostLedger, CostTable
 from ..util.misc import as_block
 
 __all__ = ["SchwarzPreconditioner", "algebraic_interface_shift"]
@@ -146,8 +146,10 @@ class SchwarzPreconditioner(Preconditioner):
         self.a = a
         self.variant = variant
         self.n = a.shape[0]
-        led = ledger.current()
-        with led.timer("schwarz_setup"):
+        # private setup ledger, replayed onto the ambient one: totals are
+        # unchanged, and ``setup_cost`` records what a setup cache amortizes
+        led = CostLedger()
+        with ledger.install(led), led.timer("schwarz_setup"):
             if decomposition is None:
                 pou_kind = "boolean" if variant in ("ras", "oras") else "multiplicity"
                 decomposition = decompose(a, nparts, overlap=overlap,
@@ -188,6 +190,8 @@ class SchwarzPreconditioner(Preconditioner):
                 self._coarse_z = z
                 self._coarse_solve = e_inv
                 led.event("schwarz_coarse_setup")
+        self.setup_cost = led
+        ledger.current().merge(led)
 
     # ------------------------------------------------------------------
     @property

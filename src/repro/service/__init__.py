@@ -1,0 +1,17 @@
+"""Solve service: RHS coalescing into block solves + setup caching.
+
+See :mod:`repro.service.service` for the architecture, and
+``docs/SERVICE.md`` for batching semantics, cache keys and invalidation.
+"""
+
+from .cache import SetupCache
+from .fingerprint import Fingerprint, operator_fingerprint
+from .service import SolveRequest, SolveService
+
+__all__ = [
+    "Fingerprint",
+    "SetupCache",
+    "SolveRequest",
+    "SolveService",
+    "operator_fingerprint",
+]

@@ -1,0 +1,127 @@
+"""LRU setup cache keyed by operator fingerprints.
+
+One cache *entry* corresponds to one operator (one
+:class:`~repro.service.fingerprint.Fingerprint`) and holds every setup
+artifact built for it — ``SparseLU`` factorizations, Schwarz/AMG
+preconditioners, recycled subspaces — under a free-form *kind* key.  The
+paper's amortization argument (setup is paid once, solves are cheap)
+becomes an API property: the first request against an operator pays for
+setup, every later request against a value-equal operator hits the cache,
+even across distinct :class:`repro.api.Solver` instances.
+
+Eviction is entry-level LRU bounded by ``max_entries``: touching any
+artifact of an operator refreshes the whole entry.  Mutating a cached
+operator's ``data`` in place changes its fingerprint, so the next lookup
+*misses* (never returns stale factors); the stale entry ages out of the
+LRU normally.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+from typing import Any, Callable
+
+from .fingerprint import Fingerprint
+
+__all__ = ["SetupCache"]
+
+
+class SetupCache:
+    """Size-bounded LRU cache of per-operator setup artifacts.
+
+    Parameters
+    ----------
+    max_entries:
+        maximum number of distinct operators kept (>= 1).  The
+        least-recently-used operator (and all its artifacts) is evicted
+        when a new operator would exceed the bound.
+    """
+
+    def __init__(self, max_entries: int = 32):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[Fingerprint, dict[str, Any]] = OrderedDict()
+        self.hits: Counter = Counter()
+        self.misses: Counter = Counter()
+        self.evictions: int = 0
+
+    # -- core ------------------------------------------------------------
+    def get(self, fp: Fingerprint, kind: str) -> Any | None:
+        """Look up one artifact; counts a hit or miss and refreshes LRU."""
+        entry = self._entries.get(fp)
+        if entry is not None and kind in entry:
+            self._entries.move_to_end(fp)
+            self.hits[kind] += 1
+            return entry[kind]
+        self.misses[kind] += 1
+        return None
+
+    def put(self, fp: Fingerprint, kind: str, artifact: Any) -> None:
+        """Store one artifact, evicting the LRU operator beyond the bound."""
+        entry = self._entries.get(fp)
+        if entry is None:
+            entry = self._entries[fp] = {}
+        entry[kind] = artifact
+        self._entries.move_to_end(fp)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def get_or_build(self, fp: Fingerprint, kind: str,
+                     builder: Callable[[], Any]) -> tuple[Any, bool]:
+        """Return ``(artifact, was_hit)``; on a miss, build and store it."""
+        found = self.get(fp, kind)
+        if found is not None:
+            return found, True
+        built = builder()
+        self.put(fp, kind, built)
+        return built, False
+
+    # -- management ------------------------------------------------------
+    def invalidate(self, fp: Fingerprint | None = None,
+                   kind: str | None = None) -> None:
+        """Drop one artifact, one operator's entry, or everything.
+
+        ``invalidate()`` clears the cache; ``invalidate(fp)`` drops every
+        artifact of one operator; ``invalidate(fp, kind)`` drops a single
+        artifact (e.g. only the recycled subspace).
+        """
+        if fp is None:
+            self._entries.clear()
+            return
+        if kind is None:
+            self._entries.pop(fp, None)
+            return
+        entry = self._entries.get(fp)
+        if entry is not None:
+            entry.pop(kind, None)
+            if not entry:
+                del self._entries[fp]
+
+    def fingerprints(self) -> list[Fingerprint]:
+        """Cached operators, LRU-first (next-to-evict at index 0)."""
+        return list(self._entries)
+
+    def stats(self) -> dict[str, Any]:
+        """Hit/miss/eviction counters, as surfaced in ``info["service"]``."""
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": dict(self.hits),
+            "misses": dict(self.misses),
+            "total_hits": sum(self.hits.values()),
+            "total_misses": sum(self.misses.values()),
+            "evictions": self.evictions,
+        }
+
+    def __contains__(self, fp: Fingerprint) -> bool:
+        return fp in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (f"SetupCache(entries={len(self._entries)}/{self.max_entries}, "
+                f"hits={sum(self.hits.values())}, "
+                f"misses={sum(self.misses.values())})")

@@ -1,0 +1,393 @@
+"""Inference-style solve server: request coalescing + setup caching.
+
+The paper's thesis is that block methods amortize setup and communication
+across right-hand sides (one factorization, BLAS-3 multi-RHS triangular
+solves — Fig. 6), and that blocking pays off even for *unrelated* RHS
+(Soodhalter, arXiv:1412.0393; Parks-Soodhalter-Szyld, arXiv:1604.01713).
+:class:`SolveService` turns that into an API property: callers submit
+independent solve requests ``(A, b, options)``; the service
+
+1. **coalesces** queued requests that share an operator fingerprint (and
+   compatible options) into one ``n x p`` block dispatched through
+   :func:`repro.api.solve` — which routes to ``bgmres`` / ``pgcrodr`` /
+   ``gcrodr`` exactly as a direct block call would — bounded by
+   ``Options.service_pmax`` and governed by ``Options.service_flush``;
+2. **caches setup** in an LRU :class:`~repro.service.cache.SetupCache`:
+   ``SparseLU`` factorizations, Schwarz/AMG preconditioner setups and
+   recycled subspaces are built once per operator *value* and reused by
+   every later batch — the paper's non-variable fast path (section III-B)
+   triggers automatically, across distinct callers;
+3. **attributes cost**: each batch runs under a private
+   :class:`~repro.util.ledger.CostLedger`; the total (merged back onto
+   the ambient ledger, so global accounting is unchanged) is split
+   exactly across the batch's columns and each request receives its
+   amortized share in ``result.info["service"]["cost"]``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..krylov.base import ConvergenceHistory, Preconditioner, SolveResult
+from ..krylov.pgcrodr import PseudoBlockRecycle
+from ..krylov.recycling import RecycledSubspace
+from ..util import ledger
+from ..util.ledger import CostLedger
+from ..util.misc import as_block
+from ..util.options import Options
+from .cache import SetupCache
+from .fingerprint import Fingerprint, operator_fingerprint
+
+__all__ = ["SolveRequest", "SolveService"]
+
+_PRECOND_SPECS = ("lu", "schwarz", "amg")
+
+
+@dataclass
+class SolveRequest:
+    """One queued solve.  ``result`` is filled when its batch is solved."""
+
+    index: int
+    a: Any
+    fingerprint: Fingerprint
+    b: np.ndarray
+    width: int
+    options: Options
+    x0: np.ndarray | None = None
+    squeeze: bool = False
+    result: SolveResult | None = field(default=None, repr=False)
+
+    @property
+    def done(self) -> bool:
+        return self.result is not None
+
+
+def _options_key(options: Options) -> tuple:
+    """Hashable compatibility key: requests coalesce iff keys are equal."""
+    return tuple(sorted((k, repr(v)) for k, v in options.as_dict().items()))
+
+
+def _recycle_kind(okey: tuple) -> str:
+    digest = hashlib.blake2b(repr(okey).encode(), digest_size=6).hexdigest()
+    return f"recycle:{digest}"
+
+
+def _as_matrix(a: Any) -> sp.spmatrix:
+    if sp.issparse(a):
+        return a
+    if isinstance(a, np.ndarray):
+        return sp.csr_matrix(a)
+    inner = getattr(a, "a", None)
+    if inner is not None and sp.issparse(inner):
+        return inner
+    raise TypeError(
+        "built-in preconditioner specs ('lu', 'schwarz', 'amg') need an "
+        f"explicit sparse/dense operator, got {type(a).__name__}; pass a "
+        "Preconditioner instance or a callable builder instead")
+
+
+class SolveService:
+    """Queue, coalesce, and batch-solve linear-system requests.
+
+    Parameters
+    ----------
+    options:
+        default :class:`Options` for requests submitted without their own;
+        also supplies the service knobs ``service_pmax``,
+        ``service_flush`` and ``service_cache_entries``
+        (``-hpddm_service_*``).
+    preconditioner:
+        how to precondition each operator: ``None`` (no preconditioning),
+        ``"lu"`` (exact :class:`~repro.direct.solver.SparseLU`),
+        ``"schwarz"`` / ``"amg"`` (built with ``precond_opts``), a
+        :class:`~repro.krylov.base.Preconditioner` instance (used as-is,
+        caller manages its validity), or a callable ``a -> preconditioner``
+        (built once per operator fingerprint and cached).
+    precond_opts:
+        keyword arguments for the built-in preconditioner builders.
+    cache:
+        a shared :class:`SetupCache`; by default a private one sized by
+        ``options.service_cache_entries``.
+
+    Example
+    -------
+    >>> import numpy as np, scipy.sparse as sp
+    >>> from repro.service import SolveService
+    >>> from repro.util.options import Options
+    >>> a = sp.diags([2.0] * 50).tocsr()
+    >>> svc = SolveService(options=Options(krylov_method="gmres"))
+    >>> reqs = [svc.submit(a, np.ones(50) * (j + 1)) for j in range(4)]
+    >>> _ = svc.flush()
+    >>> all(r.result.converged.all() for r in reqs)
+    True
+    >>> reqs[0].result.info["service"]["batch_width"]
+    4
+    """
+
+    def __init__(self, *, options: Options | None = None,
+                 preconditioner: Any = None,
+                 precond_opts: dict[str, Any] | None = None,
+                 cache: SetupCache | None = None):
+        self.options = options or Options()
+        if isinstance(preconditioner, str) \
+                and preconditioner not in _PRECOND_SPECS:
+            raise ValueError(f"unknown preconditioner spec {preconditioner!r}; "
+                             f"expected one of {_PRECOND_SPECS}")
+        self.preconditioner = preconditioner
+        self.precond_opts = dict(precond_opts or {})
+        self.cache = cache if cache is not None else SetupCache(
+            self.options.service_cache_entries)
+        self.p_max = self.options.service_pmax
+        self.flush_policy = self.options.service_flush
+        self._queue: dict[tuple, list[SolveRequest]] = {}
+        self._next_index = 0
+        self._next_batch = 0
+        self.batches: list[dict[str, Any]] = []
+
+    # -- submission ------------------------------------------------------
+    def submit(self, a: Any, b: np.ndarray, *, options: Options | None = None,
+               x0: np.ndarray | None = None) -> SolveRequest:
+        """Queue one solve request; returns a handle to poll for results.
+
+        Under the ``"batch_full"`` flush policy a group is dispatched as
+        soon as it reaches ``service_pmax`` columns; otherwise requests
+        wait for :meth:`flush`.
+        """
+        opts = options or self.options
+        fp = operator_fingerprint(a)
+        b_arr = np.asarray(b)
+        req = SolveRequest(
+            index=self._next_index, a=a, fingerprint=fp, b=b_arr,
+            width=as_block(b_arr).shape[1], options=opts, x0=x0,
+            squeeze=b_arr.ndim == 1)
+        self._next_index += 1
+        key = (fp, _options_key(opts))
+        self._queue.setdefault(key, []).append(req)
+        if self.flush_policy == "batch_full":
+            self._dispatch_full_chunks(key)
+        return req
+
+    def solve(self, a: Any, b: np.ndarray, *, options: Options | None = None,
+              x0: np.ndarray | None = None) -> SolveResult:
+        """Synchronous convenience: submit and solve immediately.
+
+        The request still flows through the cache (so it benefits from —
+        and populates — cached setup) but is never held back waiting for
+        batch-mates.
+        """
+        req = self.submit(a, b, options=options, x0=x0)
+        if not req.done:
+            key = (req.fingerprint, _options_key(req.options))
+            self._dispatch_group(key)
+        return req.result
+
+    def result(self, req: SolveRequest) -> SolveResult:
+        """The request's result, flushing its group if still queued.
+
+        Under the ``"explicit"`` policy an unsolved request is an error
+        (nothing dispatches without :meth:`flush`).
+        """
+        if not req.done:
+            if self.flush_policy == "explicit":
+                raise RuntimeError(
+                    "request not solved yet and service_flush='explicit'; "
+                    "call flush() first")
+            self._dispatch_group((req.fingerprint, _options_key(req.options)))
+        return req.result
+
+    def flush(self) -> list[SolveRequest]:
+        """Dispatch every queued request; returns the completed requests."""
+        done: list[SolveRequest] = []
+        for key in list(self._queue):
+            done.extend(self._dispatch_group(key))
+        return done
+
+    @property
+    def pending(self) -> int:
+        """Number of queued, not-yet-solved requests."""
+        return sum(len(reqs) for reqs in self._queue.values())
+
+    # -- dispatch --------------------------------------------------------
+    def _dispatch_full_chunks(self, key: tuple) -> None:
+        """batch_full policy: peel off p_max-wide chunks as they fill."""
+        reqs = self._queue.get(key)
+        while reqs:
+            chunk, rest = self._take_chunk(reqs)
+            if not rest and sum(r.width for r in chunk) < self.p_max:
+                break  # group not full yet — keep queueing
+            self._solve_batch(key, chunk)
+            reqs = rest
+        if reqs:
+            self._queue[key] = reqs
+        else:
+            self._queue.pop(key, None)
+
+    def _take_chunk(self, reqs: list[SolveRequest]
+                    ) -> tuple[list[SolveRequest], list[SolveRequest]]:
+        """Greedy prefix with total width <= p_max (at least one request)."""
+        chunk: list[SolveRequest] = [reqs[0]]
+        width = reqs[0].width
+        i = 1
+        while i < len(reqs) and width + reqs[i].width <= self.p_max:
+            chunk.append(reqs[i])
+            width += reqs[i].width
+            i += 1
+        return chunk, reqs[i:]
+
+    def _dispatch_group(self, key: tuple) -> list[SolveRequest]:
+        reqs = self._queue.pop(key, [])
+        done = []
+        while reqs:
+            chunk, reqs = self._take_chunk(reqs)
+            self._solve_batch(key, chunk)
+            done.extend(chunk)
+        return done
+
+    # -- setup resolution ------------------------------------------------
+    def _resolve_preconditioner(self, a: Any, fp: Fingerprint
+                                ) -> tuple[Any, bool | None]:
+        """(preconditioner, cache_hit); hit is None when nothing is cached."""
+        spec = self.preconditioner
+        if spec is None:
+            return None, None
+        if isinstance(spec, Preconditioner):
+            return spec, None
+        if spec == "lu":
+            from ..direct.solver import SparseLU
+            lu, hit = self.cache.get_or_build(
+                fp, "lu", lambda: SparseLU(_as_matrix(a), **self.precond_opts))
+            return lu.as_preconditioner(), hit
+        if spec == "schwarz":
+            from ..precond.schwarz import SchwarzPreconditioner
+            return self.cache.get_or_build(
+                fp, "precond",
+                lambda: SchwarzPreconditioner(_as_matrix(a),
+                                              **self.precond_opts))
+        if spec == "amg":
+            from ..precond.amg import SmoothedAggregationAMG
+            return self.cache.get_or_build(
+                fp, "precond",
+                lambda: SmoothedAggregationAMG(_as_matrix(a),
+                                               **self.precond_opts))
+        if callable(spec):
+            return self.cache.get_or_build(fp, "precond", lambda: spec(a))
+        raise TypeError(f"cannot interpret {type(spec).__name__} as a "
+                        "preconditioner spec")
+
+    def _cached_recycle(self, fp: Fingerprint, okey: tuple, p: int
+                        ) -> tuple[Any, bool | None]:
+        """Recycled state for this (operator, options) pair, if compatible."""
+        space = self.cache.get(fp, _recycle_kind(okey))
+        if space is None:
+            return None, False
+        if isinstance(space, PseudoBlockRecycle) and space.p != p:
+            return None, False  # width changed; pseudo-block state unusable
+        return space, True
+
+    # -- the batch solve -------------------------------------------------
+    def _solve_batch(self, key: tuple, chunk: list[SolveRequest]) -> None:
+        from .. import api  # deferred: repro.api has no import-time cycle here
+
+        fp, okey = key
+        opts = chunk[0].options
+        batch_id = self._next_batch
+        self._next_batch += 1
+
+        blocks = [as_block(r.b) for r in chunk]
+        bmat = np.hstack(blocks) if len(blocks) > 1 else blocks[0]
+        p = bmat.shape[1]
+        x0 = None
+        if any(r.x0 is not None for r in chunk):
+            cols = [as_block(r.x0) if r.x0 is not None
+                    else np.zeros((bmat.shape[0], r.width), dtype=bmat.dtype)
+                    for r in chunk]
+            x0 = np.hstack(cols) if len(cols) > 1 else cols[0]
+
+        ambient = ledger.current()
+        batch_led = CostLedger()
+        recycling = opts.is_recycling
+        with ledger.install(batch_led):
+            m, setup_hit = self._resolve_preconditioner(chunk[0].a, fp)
+            recycle = same_system = None
+            if recycling:
+                recycle, found = self._cached_recycle(fp, okey, p)
+                # the cache key is the *value* fingerprint, so a hit means
+                # the operator is numerically unchanged: take the paper's
+                # same-system fast path (section III-B) automatically —
+                # except for opaque operators, where equality only means
+                # object identity and in-place mutation is undetectable,
+                # so the conservative re-orthonormalization runs instead.
+                if found and not fp.opaque:
+                    same_system = True
+            res = api.solve(chunk[0].a, bmat, m, options=opts, x0=x0,
+                            recycle=recycle, same_system=same_system)
+            new_space = res.info.get("recycle")
+            if recycling and new_space is not None:
+                new_space.fingerprint = fp
+                self.cache.put(fp, _recycle_kind(okey), new_space)
+        ambient.merge(batch_led)
+
+        self._scatter(chunk, res, batch_led, batch_id=batch_id, p=p,
+                      setup_hit=setup_hit,
+                      recycle_hit=bool(same_system) if recycling else None)
+        self.batches.append({
+            "batch": batch_id,
+            "fingerprint": fp.short(),
+            "requests": len(chunk),
+            "width": p,
+            "method": res.method,
+            "iterations": res.iterations,
+            "setup_cache_hit": setup_hit,
+            "ledger": batch_led,
+        })
+
+    def _scatter(self, chunk: list[SolveRequest], res: SolveResult,
+                 batch_led: CostLedger, *, batch_id: int, p: int,
+                 setup_hit: bool | None, recycle_hit: bool | None) -> None:
+        """Slice the block result and the ledger back onto each request."""
+        shares = batch_led.split(p)
+        x = as_block(np.asarray(res.x))
+        records = res.history.records
+        cache_stats = self.cache.stats()
+        j0 = 0
+        for req in chunk:
+            j1 = j0 + req.width
+            cost = CostLedger()
+            for share in shares[j0:j1]:
+                cost.merge(share)
+            hist = ConvergenceHistory(
+                rhs_norms=np.asarray(res.history.rhs_norms)[j0:j1])
+            hist.records = [rec[j0:j1] for rec in records]
+            xcol = x[:, j0:j1]
+            info: dict[str, Any] = {
+                "service": {
+                    "batch": batch_id,
+                    "batch_width": p,
+                    "columns": (j0, j1),
+                    "coalesced_requests": len(chunk),
+                    "fingerprint": req.fingerprint.short(),
+                    "setup_cache_hit": setup_hit,
+                    "recycle_cache_hit": recycle_hit,
+                    "cache": cache_stats,
+                    "cost": cost,
+                },
+            }
+            for carried in ("verify", "same_system", "k", "variant"):
+                if carried in res.info:
+                    info[carried] = res.info[carried]
+            req.result = SolveResult(
+                x=xcol[:, 0] if req.squeeze else xcol,
+                converged=np.atleast_1d(res.converged)[j0:j1],
+                iterations=res.iterations,
+                history=hist,
+                method=res.method,
+                restarts=res.restarts,
+                breakdown=res.breakdown,
+                info=info,
+            )
+            j0 = j1

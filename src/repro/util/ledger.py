@@ -98,6 +98,67 @@ class CostLedger:
             self.timers[name] = self.timers.get(name, 0.0) + time.perf_counter() - t0
 
     # -- arithmetic --------------------------------------------------------
+    def merge(self, other: "CostLedger") -> None:
+        """Add ``other``'s totals onto this ledger (timers included).
+
+        Used to replay a batch-scoped ledger onto the ambient one after a
+        coalesced solve, so nesting a private ledger is invisible to the
+        caller's accounting.  The null ledger overrides this as a no-op.
+        """
+        self.reductions += other.reductions
+        self.reduction_bytes += other.reduction_bytes
+        self.p2p_messages += other.p2p_messages
+        self.p2p_bytes += other.p2p_bytes
+        self.flops.update(other.flops)
+        self.calls.update(other.calls)
+        for name, seconds in other.timers.items():
+            self.timers[name] = self.timers.get(name, 0.0) + seconds
+
+    def split(self, parts: int) -> "list[CostLedger]":
+        """Split into ``parts`` ledgers whose totals sum back *exactly*.
+
+        The per-request attribution of a coalesced block solve: integer
+        quantities are divided with the remainder spread over the first
+        ``v % parts`` shares; flop counts (floats, but integer-valued in
+        practice — every charge is ``2 * nnz * p``-shaped) are split on
+        their integer part the same way, with any fractional residue
+        credited to share 0.  Summation of the shares is then exact in
+        floating point (integer adds below 2^53), so
+
+            merged = CostLedger(); [merged.merge(s) for s in led.split(p)]
+
+        satisfies ``merged.counts() == led.counts()`` bit-for-bit — the
+        conservation property ``tests/test_service.py`` asserts.  Timers
+        (wall-clock, not conserved quantities) stay on the parent.
+        """
+        if parts < 1:
+            raise ValueError("parts must be >= 1")
+
+        def ishare(v: int, j: int) -> int:
+            return v // parts + (1 if j < v % parts else 0)
+
+        shares = []
+        for j in range(parts):
+            led = CostLedger(
+                reductions=ishare(self.reductions, j),
+                reduction_bytes=ishare(self.reduction_bytes, j),
+                p2p_messages=ishare(self.p2p_messages, j),
+                p2p_bytes=ishare(self.p2p_bytes, j),
+            )
+            for kern, v in self.flops.items():
+                iv = int(v)
+                part = float(ishare(iv, j))
+                if j == 0:
+                    part += v - float(iv)
+                if part:
+                    led.flops[kern] = part
+            for name, v in self.calls.items():
+                part = ishare(v, j)
+                if part:
+                    led.calls[name] = part
+            shares.append(led)
+        return shares
+
     def snapshot(self) -> "CostLedger":
         """Deep-ish copy for before/after diffing."""
         out = CostLedger(
@@ -210,6 +271,9 @@ class _NullLedger(CostLedger):
         pass
 
     def event(self, name: str, count: int = 1) -> None:  # noqa: D102
+        pass
+
+    def merge(self, other: CostLedger) -> None:  # noqa: D102
         pass
 
     @contextmanager

@@ -31,6 +31,7 @@ _QR = ("cholqr", "cholqr_rr", "cgs", "mgs", "tsqr", "householder")
 _STRATEGIES = ("A", "B")
 _TARGETS = ("smallest", "largest", "smallest_real", "largest_real")
 _VERIFY_LEVELS = ("off", "cheap", "full")
+_FLUSH_POLICIES = ("batch_full", "queue_drained", "explicit")
 
 
 @dataclass
@@ -104,6 +105,24 @@ class Options:
         same-system skip — and distributed QR factorizations).  Violations
         raise :class:`repro.verify.InvariantViolation`.  Verification work
         is never charged to the cost ledger.
+    service_pmax:
+        maximum block width a :class:`repro.service.SolveService` batch
+        may reach (``-hpddm_service_pmax``): queued requests sharing an
+        operator fingerprint and compatible options are coalesced into
+        one ``n x p`` block solve with ``p <= service_pmax``.
+    service_flush:
+        batch dispatch policy of the solve service
+        (``-hpddm_service_flush``): ``"batch_full"`` dispatches a group as
+        soon as it reaches ``service_pmax`` columns (remaining requests go
+        out on ``flush()``); ``"queue_drained"`` coalesces maximally and
+        dispatches only when the queue is drained via ``flush()`` or a
+        result is demanded; ``"explicit"`` dispatches on ``flush()`` only
+        and treats demanding an unsolved result as an error.
+    service_cache_entries:
+        capacity of the service's LRU :class:`repro.service.SetupCache`
+        (``-hpddm_service_cache_entries``): number of distinct operators
+        whose factorizations / preconditioner setups / recycled subspaces
+        are retained.
     initial_deflation_tol / enlarge... reserved knobs kept for CLI parity.
     """
 
@@ -122,6 +141,9 @@ class Options:
     block_reduction: bool = False
     exec_mode: str | None = None
     verify: str = "off"
+    service_pmax: int = 16
+    service_flush: str = "batch_full"
+    service_cache_entries: int = 32
     verbosity: int = 0
     check_invariants: bool = False
     extra: dict[str, Any] = field(default_factory=dict)
@@ -159,6 +181,15 @@ class Options:
             raise OptionError(
                 f"unknown verify level {self.verify!r}; expected one of {_VERIFY_LEVELS}"
             )
+        if self.service_flush not in _FLUSH_POLICIES:
+            raise OptionError(
+                f"unknown service_flush {self.service_flush!r}; "
+                f"expected one of {_FLUSH_POLICIES}"
+            )
+        if self.service_pmax < 1:
+            raise OptionError("service_pmax must be >= 1")
+        if self.service_cache_entries < 1:
+            raise OptionError("service_cache_entries must be >= 1")
         if self.gmres_restart < 1:
             raise OptionError("gmres_restart must be >= 1")
         if self.max_it < 1:
@@ -223,11 +254,19 @@ class Options:
             args += ["-hpddm_exec_mode", self.exec_mode]
         if self.verify != "off":
             args += ["-hpddm_verify", self.verify]
+        if self.service_pmax != 16:
+            args += ["-hpddm_service_pmax", str(self.service_pmax)]
+        if self.service_flush != "batch_full":
+            args += ["-hpddm_service_flush", self.service_flush]
+        if self.service_cache_entries != 32:
+            args += ["-hpddm_service_cache_entries",
+                     str(self.service_cache_entries)]
         return args
 
 
 _BOOL_FLAGS = {"recycle_same_system", "check_invariants", "block_reduction"}
-_INT_FIELDS = {"gmres_restart", "recycle", "max_it", "verbosity"}
+_INT_FIELDS = {"gmres_restart", "recycle", "max_it", "verbosity",
+               "service_pmax", "service_cache_entries"}
 _FLOAT_FIELDS = {"tol", "deflation_tol"}
 
 

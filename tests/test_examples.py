@@ -34,6 +34,15 @@ def test_elasticity_inclusions_runs(capsys):
     assert "rejected" in out     # the variable-preconditioner guard fired
 
 
+def test_service_batching_runs(capsys):
+    import service_batching
+    service_batching.run(16)
+    out = capsys.readouterr().out
+    assert "32 requests" in out
+    assert "setup built 2x for 2 operators" in out
+    assert "solo" in out
+
+
 @pytest.mark.slow
 def test_maxwell_imaging_runs(capsys):
     import maxwell_imaging

@@ -1,0 +1,383 @@
+"""Tests for the solve service: coalescing, setup caching, attribution.
+
+Covers the contract of :mod:`repro.service`:
+
+* coalesced block solves return the same answers (to solver tolerance) as
+  individual solves, and per-request cost attribution conserves the batch
+  ledger exactly;
+* the :class:`~repro.service.cache.SetupCache` is keyed by operator
+  *value* — same-structure/different-values operators never collide, and
+  in-place mutation of a cached operator's data is a miss;
+* :class:`repro.Solver` never carries same-system state or a recycled
+  subspace across :meth:`~repro.Solver.reset`, and detects in-place
+  operator mutation via the fingerprint guard.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import Options, Solver, solve
+from repro.service import SetupCache, SolveService, operator_fingerprint
+from repro.service.fingerprint import Fingerprint
+from repro.util import ledger
+from repro.util.ledger import CostLedger
+
+from conftest import laplacian_2d, make_rng, relative_residuals
+
+
+def poisson(nx: int = 14) -> sp.csr_matrix:
+    return laplacian_2d(nx)
+
+
+# ---------------------------------------------------------------------------
+# fingerprints
+# ---------------------------------------------------------------------------
+class TestFingerprint:
+    def test_equal_for_equal_matrices(self):
+        a = poisson()
+        b = poisson()
+        assert a is not b
+        assert operator_fingerprint(a) == operator_fingerprint(b)
+
+    def test_same_structure_different_values(self):
+        a = poisson()
+        b = a.copy()
+        b.data = b.data * 2.0
+        fa, fb = operator_fingerprint(a), operator_fingerprint(b)
+        assert fa != fb
+        assert fa.same_structure(fb)
+        assert fa.structure == fb.structure
+        assert fa.values != fb.values
+
+    def test_in_place_mutation_changes_fingerprint(self):
+        a = poisson()
+        before = operator_fingerprint(a)
+        a.data[0] += 1e-9
+        assert operator_fingerprint(a) != before
+
+    def test_dense_and_opaque(self):
+        arr = np.eye(5)
+        fp = operator_fingerprint(arr)
+        assert fp.kind == "dense" and not fp.opaque
+
+        def matvec(x):
+            return x
+
+        fo = operator_fingerprint(matvec)
+        assert fo.opaque
+        assert fo == operator_fingerprint(matvec)  # same object, same tag
+
+    def test_dtype_matters(self):
+        a = poisson()
+        b = a.astype(np.complex128)
+        assert operator_fingerprint(a) != operator_fingerprint(b)
+
+
+# ---------------------------------------------------------------------------
+# the cache
+# ---------------------------------------------------------------------------
+class TestSetupCache:
+    def _fp(self, i: int) -> Fingerprint:
+        return operator_fingerprint(poisson() * float(i + 1))
+
+    def test_hit_miss_counters(self):
+        cache = SetupCache(max_entries=4)
+        fp = self._fp(0)
+        art, hit = cache.get_or_build(fp, "lu", lambda: "artifact")
+        assert (art, hit) == ("artifact", False)
+        art, hit = cache.get_or_build(fp, "lu", lambda: "other")
+        assert (art, hit) == ("artifact", True)
+        stats = cache.stats()
+        assert stats["total_hits"] == 1 and stats["total_misses"] == 1
+
+    def test_value_keyed_no_collision(self):
+        # same sparsity pattern, different values: distinct entries
+        cache = SetupCache(max_entries=4)
+        a = poisson()
+        b = a.copy()
+        b.data = b.data * 3.0
+        fa, fb = operator_fingerprint(a), operator_fingerprint(b)
+        assert fa.same_structure(fb)
+        cache.put(fa, "lu", "for-a")
+        assert cache.get(fb, "lu") is None
+        cache.put(fb, "lu", "for-b")
+        assert cache.get(fa, "lu") == "for-a"
+        assert cache.get(fb, "lu") == "for-b"
+
+    def test_in_place_mutation_misses(self):
+        cache = SetupCache(max_entries=4)
+        a = poisson()
+        cache.put(operator_fingerprint(a), "lu", "stale-after-mutation")
+        a.data *= 1.5
+        assert cache.get(operator_fingerprint(a), "lu") is None
+
+    def test_lru_eviction_order(self):
+        cache = SetupCache(max_entries=2)
+        f0, f1, f2 = (self._fp(i) for i in range(3))
+        cache.put(f0, "lu", 0)
+        cache.put(f1, "lu", 1)
+        cache.get(f0, "lu")          # f0 becomes most-recent
+        cache.put(f2, "lu", 2)       # evicts f1, the least-recent
+        assert f1 not in cache
+        assert cache.get(f0, "lu") == 0 and cache.get(f2, "lu") == 2
+        assert cache.evictions == 1
+
+    def test_invalidate(self):
+        cache = SetupCache(max_entries=4)
+        fp = self._fp(0)
+        cache.put(fp, "lu", 0)
+        cache.put(fp, "precond", 1)
+        cache.invalidate(fp, kind="lu")
+        assert cache.get(fp, "lu") is None
+        assert cache.get(fp, "precond") == 1
+        cache.invalidate()
+        assert len(cache) == 0
+
+
+# ---------------------------------------------------------------------------
+# coalescing correctness
+# ---------------------------------------------------------------------------
+class TestCoalescing:
+    def test_32_requests_match_individual_solves(self):
+        a = poisson()
+        rng = make_rng(1)
+        rhs = [rng.standard_normal(a.shape[0]) for _ in range(32)]
+        opts = Options(krylov_method="gmres", tol=1e-10, service_pmax=8,
+                       service_flush="queue_drained")
+        svc = SolveService(options=opts, preconditioner="lu")
+        reqs = [svc.submit(a, b) for b in rhs]
+        assert svc.pending == 32
+        svc.flush()
+        for b, req in zip(rhs, reqs):
+            res = req.result
+            assert res.converged.all()
+            assert res.x.shape == b.shape  # 1-D in, 1-D out
+            assert relative_residuals(a, res.x, b).max() < 1e-8
+            ref = solve(a, b, options=Options(krylov_method="gmres",
+                                              tol=1e-10))
+            assert np.allclose(res.x, ref.x, atol=1e-7)
+        widths = [rep["width"] for rep in svc.batches]
+        assert widths == [8, 8, 8, 8]
+        # setup built exactly once, then hit by every later batch
+        hits = [rep["setup_cache_hit"] for rep in svc.batches]
+        assert hits == [False, True, True, True]
+
+    def test_pmax_chunking_respects_multicolumn_requests(self):
+        a = poisson()
+        rng = make_rng(2)
+        opts = Options(krylov_method="bgmres", tol=1e-8, service_pmax=4,
+                       service_flush="queue_drained")
+        svc = SolveService(options=opts)
+        svc.submit(a, rng.standard_normal((a.shape[0], 3)))
+        svc.submit(a, rng.standard_normal((a.shape[0], 3)))
+        svc.submit(a, rng.standard_normal(a.shape[0]))
+        svc.flush()
+        # 3+3+1 with p_max=4 -> chunks [3, 1] never split a request
+        assert [rep["width"] for rep in svc.batches] == [3, 4]
+
+    def test_mixed_operators_do_not_coalesce(self):
+        a = poisson()
+        b = poisson() * 2.0
+        opts = Options(krylov_method="gmres", tol=1e-9,
+                       service_flush="queue_drained")
+        svc = SolveService(options=opts)
+        r1 = svc.submit(a, np.ones(a.shape[0]))
+        r2 = svc.submit(b, np.ones(b.shape[0]))
+        svc.flush()
+        assert len(svc.batches) == 2
+        assert r1.result.info["service"]["coalesced_requests"] == 1
+        assert not np.allclose(r1.result.x, r2.result.x)
+
+    def test_mixed_options_do_not_coalesce(self):
+        a = poisson()
+        base = Options(krylov_method="gmres", tol=1e-9,
+                       service_flush="queue_drained")
+        svc = SolveService(options=base)
+        svc.submit(a, np.ones(a.shape[0]))
+        svc.submit(a, np.ones(a.shape[0]),
+                   options=Options(krylov_method="gmres", tol=1e-6,
+                                   service_flush="queue_drained"))
+        svc.flush()
+        assert len(svc.batches) == 2
+
+
+# ---------------------------------------------------------------------------
+# flush policies
+# ---------------------------------------------------------------------------
+class TestFlushPolicies:
+    def test_batch_full_dispatches_eagerly(self):
+        a = poisson()
+        opts = Options(krylov_method="gmres", tol=1e-8, service_pmax=4,
+                       service_flush="batch_full")
+        svc = SolveService(options=opts)
+        reqs = [svc.submit(a, np.full(a.shape[0], float(j + 1)))
+                for j in range(6)]
+        # first four dispatched the moment the group filled; two remain
+        assert [r.done for r in reqs] == [True] * 4 + [False] * 2
+        assert svc.pending == 2
+        svc.flush()
+        assert all(r.done for r in reqs)
+
+    def test_queue_drained_waits_for_flush(self):
+        a = poisson()
+        opts = Options(krylov_method="gmres", tol=1e-8, service_pmax=2,
+                       service_flush="queue_drained")
+        svc = SolveService(options=opts)
+        reqs = [svc.submit(a, np.ones(a.shape[0])) for _ in range(5)]
+        assert not any(r.done for r in reqs)
+        # result() flushes just that group
+        res = svc.result(reqs[0])
+        assert res is reqs[0].result
+        assert all(r.done for r in reqs)
+
+    def test_explicit_requires_flush(self):
+        a = poisson()
+        opts = Options(krylov_method="gmres", tol=1e-8,
+                       service_flush="explicit")
+        svc = SolveService(options=opts)
+        req = svc.submit(a, np.ones(a.shape[0]))
+        with pytest.raises(RuntimeError, match="explicit"):
+            svc.result(req)
+        svc.flush()
+        assert svc.result(req).converged.all()
+
+
+# ---------------------------------------------------------------------------
+# cost attribution
+# ---------------------------------------------------------------------------
+class TestAttribution:
+    def test_per_request_costs_conserve_batch_ledger(self):
+        a = poisson()
+        rng = make_rng(3)
+        opts = Options(krylov_method="gcrodr", recycle=5, tol=1e-9,
+                       service_pmax=6, service_flush="queue_drained")
+        svc = SolveService(options=opts, preconditioner="lu")
+        reqs = [svc.submit(a, rng.standard_normal(a.shape[0]))
+                for _ in range(13)]
+        with ledger.install() as ambient:
+            svc.flush()
+        # sum of per-request attributed costs == sum of batch ledgers
+        total = CostLedger()
+        for req in reqs:
+            total.merge(req.result.info["service"]["cost"])
+        batch_total = CostLedger()
+        for rep in svc.batches:
+            batch_total.merge(rep["ledger"])
+        assert total.counts() == batch_total.counts()
+        # and the ambient ledger saw exactly the batch totals
+        assert ambient.counts() == batch_total.counts()
+
+    def test_split_is_exact_for_any_ledger(self):
+        led = CostLedger()
+        led.reduction(nbytes=56, count=7)
+        led.p2p(messages=3, nbytes=1000)
+        from repro.util.ledger import Kernel
+        led.flop(Kernel.SPMM, 1234567.25)
+        led.flop(Kernel.BLAS3, 99.75)
+        led.event("solve", 5)
+        for parts in (1, 2, 3, 7):
+            merged = CostLedger()
+            for share in led.split(parts):
+                merged.merge(share)
+            assert merged.counts() == led.counts()
+
+    def test_amortized_share_smaller_than_solo_cost(self):
+        a = poisson()
+        rng = make_rng(4)
+        rhs = [rng.standard_normal(a.shape[0]) for _ in range(8)]
+        opts = Options(krylov_method="gmres", tol=1e-9, service_pmax=8,
+                       service_flush="queue_drained")
+        svc = SolveService(options=opts, preconditioner="lu")
+        reqs = [svc.submit(a, b) for b in rhs]
+        svc.flush()
+        share = reqs[0].result.info["service"]["cost"]
+        with ledger.install() as solo:
+            solve(a, rhs[0], options=Options(krylov_method="gmres", tol=1e-9))
+        # a coalesced request is charged fewer reductions than going alone
+        assert share.reductions < solo.reductions
+
+
+# ---------------------------------------------------------------------------
+# service + recycling + verify
+# ---------------------------------------------------------------------------
+class TestServiceRecycling:
+    def test_recycle_state_reused_across_batches(self):
+        a = poisson()
+        rng = make_rng(5)
+        opts = Options(krylov_method="gcrodr", recycle=6, gmres_restart=25,
+                       tol=1e-9, service_pmax=4,
+                       service_flush="queue_drained")
+        svc = SolveService(options=opts, preconditioner="lu")
+        for _ in range(2):
+            reqs = [svc.submit(a, rng.standard_normal(a.shape[0]))
+                    for _ in range(4)]
+            svc.flush()
+            assert all(r.result.converged.all() for r in reqs)
+        assert svc.batches[0]["method"] == "pgcrodr"
+        first = reqs[0].result.info["service"]
+        assert first["recycle_cache_hit"] is True
+        assert reqs[0].result.info["same_system"] is True
+
+    def test_verify_cheap_on_service_path(self):
+        a = poisson()
+        opts = Options(krylov_method="gmres", tol=1e-9, verify="cheap",
+                       service_flush="queue_drained")
+        svc = SolveService(options=opts, preconditioner="lu")
+        req = svc.submit(a, np.ones(a.shape[0]))
+        svc.flush()
+        report = req.result.info["verify"]
+        assert report["violations"] == []
+        assert report["checks"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Solver reset / fingerprint regression (satellite c)
+# ---------------------------------------------------------------------------
+class TestSolverReset:
+    def _options(self):
+        return Options(krylov_method="gcrodr", recycle=5, gmres_restart=20,
+                       tol=1e-8)
+
+    def test_reset_clears_recycle_and_same_system(self):
+        a = poisson()
+        rng = make_rng(6)
+        s = Solver(options=self._options())
+        s.solve(a, rng.standard_normal(a.shape[0]))
+        assert s.recycled is not None
+        s.reset()
+        assert s.recycled is None and s._last_tag is None \
+            and s._last_fingerprint is None
+        # next solve against the *same operator object* is a fresh sequence:
+        # no same-system fast path, no adopted recycle space
+        res = s.solve(a, rng.standard_normal(a.shape[0]))
+        assert res.info["same_system"] is not True
+        assert res.converged.all()
+
+    def test_in_place_mutation_disables_same_system(self):
+        a = poisson()
+        rng = make_rng(7)
+        s = Solver(options=self._options())
+        s.solve(a, rng.standard_normal(a.shape[0]))
+        r2 = s.solve(a, rng.standard_normal(a.shape[0]))
+        assert r2.info["same_system"] is True  # unchanged operator
+        a.data *= 1.5  # same object/tag, different values
+        r3 = s.solve(a, rng.standard_normal(a.shape[0]))
+        assert r3.info["same_system"] is not True
+        assert r3.converged.all()
+
+    def test_shared_cache_gives_cross_instance_fast_path(self):
+        a = poisson()
+        rng = make_rng(8)
+        cache = SetupCache(max_entries=4)
+        s1 = Solver(options=self._options(), setup_cache=cache)
+        s1.solve(a, rng.standard_normal(a.shape[0]))
+        s2 = Solver(options=self._options(), setup_cache=cache)
+        res = s2.solve(a, rng.standard_normal(a.shape[0]))
+        assert res.info["same_system"] is True
+        assert res.converged.all()
+        # ...but a reset still forces the fresh path on the same instance
+        s2.reset()
+        assert s2.recycled is None
