@@ -21,7 +21,10 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_micro_kernels.py --quick --check
 
 ``--check`` exits nonzero unless fused is at least as fast as per-rank at
-nranks=64 for SpMM and column dots (the repo's perf regression gate).
+nranks=64 for SpMM and column dots, AND the low-synchronization
+orthogonalization engine meets its budget (CGS2-1r: <= 2 reductions per
+Arnoldi step and >= 1.5x MGS wall-clock on the 40-block p=8 basis at
+equal final orthogonality) — the repo's perf regression gates.
 
 Also collectable by pytest (``pytest benchmarks/bench_micro_kernels.py``)
 via :func:`test_fused_not_slower_at_64_ranks`, following the suite's
@@ -55,8 +58,10 @@ RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_kernels.json"
 
 # grid 96 -> n = 9216, the size regime of the repo's simulated scaling
 # studies (benchmarks/bench_fig7_strong_scaling.py and friends)
-FULL = {"grid": 96, "p": 8, "nranks": (1, 16, 64, 256), "repeats": 11}
-QUICK = {"grid": 64, "p": 8, "nranks": (1, 64), "repeats": 3}
+FULL = {"grid": 96, "p": 8, "nranks": (1, 16, 64, 256), "repeats": 11,
+        "ortho_blocks": 40}
+QUICK = {"grid": 64, "p": 8, "nranks": (1, 64), "repeats": 3,
+         "ortho_blocks": 40}
 
 
 def laplacian_2d(nx: int) -> sp.csr_matrix:
@@ -152,6 +157,70 @@ def bench_level_schedule(cfg: dict) -> list[dict]:
     return rows
 
 
+def bench_orthogonalization(cfg: dict) -> dict:
+    """Low-synchronization block Arnoldi engines vs the MGS oracle.
+
+    Builds a ``cfg["ortho_blocks"]``-block, width-``p`` orthonormal basis
+    (the 40-block p=8 configuration of the headline claim) with each engine
+    and with column-wise MGS, measuring wall time, ledger-counted
+    reductions per step, and the final loss of orthogonality
+    ``|I - Q^H Q|_F``.  CGS2-1r must deliver MGS-quality orthogonality at
+    <= 2 reductions per step and >= 1.5x the wall-clock speed — the gate
+    in :func:`check_gate`.
+    """
+    from repro.la.orthogonalization import (LOW_SYNC_SCHEMES, householder_qr,
+                                            make_arnoldi_engine, project_out)
+    from repro.util import ledger as ledger_mod
+    from repro.util.ledger import CostLedger
+
+    n, p = cfg["grid"] ** 2, cfg["p"]
+    blocks = cfg["ortho_blocks"]
+    rng = np.random.default_rng(20260705)
+    v1, _ = householder_qr(rng.standard_normal((n, p)))
+    ws = [rng.standard_normal((n, p)) for _ in range(blocks)]
+
+    def build(scheme):
+        led = CostLedger()
+        per_step = []
+        with ledger_mod.install(led):
+            if scheme == "mgs":
+                q_mat = v1
+                for w in ws:
+                    before = led.counts()[0]
+                    w2, _ = project_out(q_mat, w, scheme="mgs")
+                    q, _ = householder_qr(w2)
+                    per_step.append(led.counts()[0] - before)
+                    q_mat = np.concatenate([q_mat, q], axis=1)
+                qfull = q_mat
+            else:
+                eng = make_arnoldi_engine(scheme, max_cols=(blocks + 1) * p)
+                eng.begin(v1)
+                basis = [v1]
+                for w in ws:
+                    before = led.counts()[0]
+                    q, _h, _r, _rank, _e = eng.step(basis, w)
+                    per_step.append(led.counts()[0] - before)
+                    basis.append(q)
+                qfull = np.concatenate(basis, axis=1)
+        g = qfull.T @ qfull
+        loo = float(np.linalg.norm(g - np.eye(g.shape[0])))
+        return per_step, loo
+
+    out = {}
+    for scheme in ("mgs",) + tuple(LOW_SYNC_SCHEMES):
+        per_step, loo = build(scheme)
+        seconds = _time(lambda: build(scheme), cfg["repeats"])
+        out[scheme] = {
+            "seconds": seconds, "loss_of_orthogonality": loo,
+            "reductions_total": int(sum(per_step)),
+            "reductions_per_step_max": int(max(per_step)),
+            "reductions_last_step": int(per_step[-1]),
+        }
+    for scheme, row in out.items():
+        row["speedup_over_mgs"] = out["mgs"]["seconds"] / row["seconds"]
+    return out
+
+
 def speedups(rows: list[dict]) -> dict[str, dict[str, float]]:
     """speedups[kernel][nranks] = per_rank time / fused time."""
     t = {(r["kernel"], r["nranks"], r["mode"]): r["seconds"] for r in rows}
@@ -166,6 +235,7 @@ def speedups(rows: list[dict]) -> dict[str, dict[str, float]]:
 
 def run(cfg: dict, out_path: Path | None) -> dict:
     rows = bench_kernels(cfg)
+    ortho = bench_orthogonalization(cfg)
     sched_rows = bench_level_schedule(cfg)
     sched_t = {(r["workload"], r["mode"]): r["seconds"] for r in sched_rows}
     report = {
@@ -176,6 +246,11 @@ def run(cfg: dict, out_path: Path | None) -> dict:
                     "repeats": cfg["repeats"]},
         "results": rows,
         "speedup_fused_over_per_rank": speedups(rows),
+        "orthogonalization": {
+            "problem": {"n": cfg["grid"] ** 2, "p": cfg["p"],
+                        "blocks": cfg["ortho_blocks"]},
+            "schemes": ortho,
+        },
         "level_schedule": {
             "results": sched_rows,
             "speedup_frontier_over_reference": {
@@ -198,6 +273,18 @@ def print_report(report: dict) -> None:
         for key in sorted({k[1] for k in t if k[0] == kernel}):
             pr, fu = t[(kernel, key, "per_rank")], t[(kernel, key, "fused")]
             print(f"{kernel:>10} {key:>7} {pr:>12.3e} {fu:>12.3e} {pr / fu:>7.1f}x")
+    ortho = report.get("orthogonalization")
+    if ortho:
+        prob = ortho["problem"]
+        print(f"\n# orthogonalization: {prob['blocks']}-block p={prob['p']} "
+              f"basis, n={prob['n']}")
+        print(f"{'scheme':>10} {'seconds':>12} {'vs mgs':>8} "
+              f"{'reds/step':>10} {'loo':>10}")
+        for scheme, row in ortho["schemes"].items():
+            print(f"{scheme:>10} {row['seconds']:>12.3e} "
+                  f"{row['speedup_over_mgs']:>7.1f}x "
+                  f"{row['reductions_per_step_max']:>10d} "
+                  f"{row['loss_of_orthogonality']:>10.1e}")
     sched = report.get("level_schedule")
     if sched:
         st = {(r["workload"], r["mode"]): r for r in sched["results"]}
@@ -211,7 +298,13 @@ def print_report(report: dict) -> None:
 
 
 def check_gate(report: dict) -> list[str]:
-    """Regression gate: fused must not lose to per-rank at nranks=64."""
+    """Regression gates.
+
+    1. fused must not lose to per-rank at nranks=64 (the exec-mode gate);
+    2. the low-sync orthogonalization headline: CGS2-1r builds the
+       40-block p=8 basis in <= 2 reductions per step at every depth,
+       >= 1.5x faster than MGS, at equivalent final orthogonality.
+    """
     failures = []
     for kernel in ("spmm", "col_dots"):
         ratio = report["speedup_fused_over_per_rank"].get(kernel, {}).get("64")
@@ -220,6 +313,25 @@ def check_gate(report: dict) -> list[str]:
         elif ratio < 1.0:
             failures.append(f"{kernel}: fused {1 / ratio:.2f}x SLOWER than "
                             "per_rank at nranks=64")
+    ortho = report.get("orthogonalization", {}).get("schemes")
+    if not ortho:
+        failures.append("orthogonalization: no measurements")
+        return failures
+    mgs, low = ortho["mgs"], ortho["cgs2_1r"]
+    if low["reductions_per_step_max"] > 2:
+        failures.append(f"cgs2_1r: {low['reductions_per_step_max']} "
+                        "reductions in a step (budget: 2)")
+    if low["speedup_over_mgs"] < 1.5:
+        failures.append(f"cgs2_1r: only {low['speedup_over_mgs']:.2f}x over "
+                        "mgs (gate: 1.5x)")
+    loo_cap = max(10.0 * mgs["loss_of_orthogonality"], 1e-12)
+    if low["loss_of_orthogonality"] > loo_cap:
+        failures.append(f"cgs2_1r: LOO {low['loss_of_orthogonality']:.1e} > "
+                        f"{loo_cap:.1e} (10x the MGS oracle)")
+    if ortho["cholqr2"]["reductions_per_step_max"] > 2:
+        failures.append("cholqr2: reduction budget exceeded")
+    if ortho["sketched"]["reductions_per_step_max"] > 1:
+        failures.append("sketched: reduction budget exceeded")
     return failures
 
 

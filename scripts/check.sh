@@ -8,8 +8,11 @@
 # or src/repro/service/ drops below the floors in
 # scripts/coverage_floor.py, if the fused execution engine is slower
 # than the per-rank oracle at nranks=64 (bench_micro_kernels --quick
-# --check), or if coalesced service solves are less than 2x cheaper per
-# request than sequential ones (bench_service --quick --check).
+# --check), if the low-sync orthogonalization engine misses its budget
+# (cgs2_1r: <= 2 reductions/step and >= 1.5x over mgs on the 40-block
+# p=8 basis at equal orthogonality; same --quick --check run), or if
+# coalesced service solves are less than 2x cheaper per request than
+# sequential ones (bench_service --quick --check).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

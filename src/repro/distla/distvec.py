@@ -141,6 +141,36 @@ class DistributedBlockVector:
                  for a, b in zip(self.locals, other.locals)]
         return allreduce_sum(self.grid, parts)
 
+    def gram_against(self, basis_blocks: "list[DistributedBlockVector]"
+                     ) -> np.ndarray:
+        """All projection coefficients ``[B_0^H x; ...; B_{j-1}^H x]`` in
+        ONE fused reduction (stacked payload).
+
+        This is the low-synchronization Arnoldi primitive: instead of ``j``
+        separate :meth:`dot` calls (one reduction each), the per-block Gram
+        partials are stacked into a single ``(sum_i p_i) x p`` payload that
+        travels in one ``allreduce`` — message count 1 at every basis depth,
+        payload bytes unchanged.  Returns the stacked coefficient matrix.
+        """
+        for b in basis_blocks:
+            if self.grid != b.grid:
+                raise ValueError("mismatched grids")
+        if not basis_blocks:
+            return np.zeros((0, self.p),
+                            dtype=self._data.dtype if self._data is not None
+                            else self.locals[0].dtype)
+        if self._fused_with() and all(b._data is not None
+                                      for b in basis_blocks):
+            out = np.concatenate(
+                [b._data.conj().T @ self._data for b in basis_blocks], axis=0)
+            ledger.current().reduction(nbytes=out.nbytes)
+            return out
+        parts = [np.concatenate(
+                     [b.locals[r].conj().T @ self.locals[r]
+                      for b in basis_blocks], axis=0)
+                 for r in range(self.grid.nranks)]
+        return allreduce_sum(self.grid, parts)
+
     def norms(self) -> np.ndarray:
         """Column 2-norms, one global reduction."""
         if self._fused_with():

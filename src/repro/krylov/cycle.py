@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..la.blockqr import BlockHessenbergQR
-from ..la.orthogonalization import project_out, qr_factorization
+from ..la.orthogonalization import (LOW_SYNC_SCHEMES, make_arnoldi_engine,
+                                    project_out, qr_factorization)
 from ..util import ledger
 from ..util.misc import column_norms, default_rng
 from .base import ConvergenceHistory
@@ -117,9 +118,34 @@ def block_arnoldi_cycle(op_apply, inner_m, v1: np.ndarray, s1: np.ndarray, *,
     """
     dtype = v1.dtype
     p = v1.shape[1]
+    led = ledger.current()
+
+    # Low-synchronization schemes run through the fused Arnoldi engine: the
+    # C_k projection, all basis projections, and the normalizer Gram travel
+    # in at most two stacked reductions per step (one for ``sketched``)
+    # instead of the legacy path's separate project_out + QR round trips.
+    engine = None
+    if ortho in LOW_SYNC_SCHEMES:
+        k = ck.shape[1] if ck is not None else 0
+        if k:
+            # The stacked projector treats [C_k | V] as one orthonormal
+            # basis, so v1 must be C_k-orthogonal when the engine starts.
+            # The caller's residual only satisfies C^H r = 0 up to the
+            # previous cycle's least-squares roundoff, and that cross term
+            # compounds across cycles and same-system solves; one fused
+            # projection per cycle caps the seed at rounding level.  The
+            # removed component is O(drift), so no renormalization is
+            # needed (and v1 @ s1 = r is preserved to the same order).
+            e0 = np.asarray(ck).conj().T @ v1
+            v1 = v1 - ck @ e0
+            led.flop(ledger.Kernel.BLAS3, 4.0 * v1.shape[0] * k * p)
+            led.reduction(nbytes=k * p * v1.itemsize)
+        engine = make_arnoldi_engine(ortho, tol=deflation_tol,
+                                     max_cols=(max_steps + 1) * p + k)
+        engine.begin(v1, ck)
+
     hqr = BlockHessenbergQR(max_steps, p, np.asarray(s1, dtype=dtype), dtype=dtype)
     state = CycleState(v_blocks=[v1], z_blocks=[], hqr=hqr)
-    led = ledger.current()
 
     steps = max_steps
     if iteration_budget is not None:
@@ -130,17 +156,22 @@ def block_arnoldi_cycle(op_apply, inner_m, v1: np.ndarray, s1: np.ndarray, *,
         zj = vj if identity_m else np.asarray(inner_m(vj)).astype(dtype, copy=False)
         state.z_blocks.append(zj)
         w = op_apply(zj)
-        if ck is not None and ck.shape[1]:
-            w, e_col = project_out(ck, w, scheme="cgs")
-            state.e_cols.append(e_col)
-        scale = float(np.max(column_norms(w), initial=0.0))
-        basis = np.concatenate(state.v_blocks, axis=1)
-        w2, h = project_out(basis, w, scheme=ortho)
-        if qr_scheme in ("cholqr", "cholqr_rr"):
-            q, s, rank = qr_factorization(w2, qr_scheme, tol=deflation_tol,
-                                          scale=scale)
+        if engine is not None:
+            q, h, s, rank, e_col = engine.step(state.v_blocks, w, ck=ck)
+            if ck is not None and ck.shape[1]:
+                state.e_cols.append(e_col)
         else:
-            q, s, rank = qr_factorization(w2, qr_scheme, tol=deflation_tol)
+            if ck is not None and ck.shape[1]:
+                w, e_col = project_out(ck, w, scheme="cgs")
+                state.e_cols.append(e_col)
+            scale = float(np.max(column_norms(w), initial=0.0))
+            basis = np.concatenate(state.v_blocks, axis=1)
+            w2, h = project_out(basis, w, scheme=ortho)
+            if qr_scheme in ("cholqr", "cholqr_rr"):
+                q, s, rank = qr_factorization(w2, qr_scheme, tol=deflation_tol,
+                                              scale=scale)
+            else:
+                q, s, rank = qr_factorization(w2, qr_scheme, tol=deflation_tol)
         h_col = np.concatenate([h, s], axis=0)
         res = hqr.add_column(h_col)
         state.steps = j + 1

@@ -28,7 +28,9 @@ from __future__ import annotations
 import numpy as np
 import scipy.linalg as sla
 
-from ..la.orthogonalization import cholqr, project_out, qr_factorization
+from ..la.orthogonalization import (LOW_SYNC_SCHEMES, SCHEMES, cholqr,
+                                    cholqr2, householder_qr, project_out,
+                                    qr_factorization)
 from ..util import ledger
 from ..util.ledger import Kernel
 from ..util.misc import as_block, column_norms
@@ -72,6 +74,48 @@ def _harvest(small: np.ndarray, pk: np.ndarray, *, rtol: float = 1e-12
     qf = qf[:, :rank]
     s = _project_solve(pk[:, piv[:rank]], rf[:rank, :rank])
     return qf, s
+
+
+def _exact_pair(u_k: np.ndarray, c_k: np.ndarray, op_apply
+                ) -> tuple[np.ndarray, np.ndarray]:
+    """Re-establish ``A U_k = C_k`` and ``C_k^H C_k = I`` exactly.
+
+    Schemes whose Krylov basis is only approximately (or sketch-)
+    orthonormal assemble a recycled pair whose identities inherit the basis
+    drift — and that drift *compounds* across restarts, because the next
+    update's small-space solve amplifies whatever error ``A U_k - C_k``
+    carries in.  Re-deriving the pair from the operator (one extra
+    ``A U_k`` on k columns plus a Householder QR, exactly the paper's
+    lines 3-7 recipe) resets both invariants to rounding level every time,
+    so the recycle checks stay as tight as under the exact schemes.
+    """
+    if c_k.shape[1] == 0:
+        return u_k, c_k
+    au = op_apply(u_k)
+    q2, r2 = householder_qr(au)      # charges its own flop + reduction
+    return _project_solve(u_k, r2), q2
+
+
+def _tidy_pair(u_k: np.ndarray, c_k: np.ndarray, op_apply, scheme: str
+               ) -> tuple[np.ndarray, np.ndarray]:
+    """Scheme-dependent recycled-pair repair after a harvest or update.
+
+    Inexact-basis schemes need the full operator re-derivation
+    (:func:`_exact_pair`).  ``cgs2_1r`` keeps an exact basis but is held to
+    a *tighter* orthonormality ceiling than restart-compounded ``C_k^H C_k``
+    drift allows (the update path mixes ``[C V]`` and amplifies incoming
+    error geometrically), so one QR of ``C_k`` resets its orthonormality
+    while preserving ``A U_k = C_k`` exactly: ``C = Q2 R  =>
+    A (U R^-1) = Q2``.  The exact single/two-pass schemes are left alone —
+    their looser ceiling absorbs the drift, matching historical behavior.
+    """
+    info = SCHEMES[scheme]
+    if not info.exact_basis:
+        return _exact_pair(u_k, c_k, op_apply)
+    if scheme in LOW_SYNC_SCHEMES and c_k.shape[1]:
+        q2, rfac = householder_qr(c_k)
+        return _project_solve(u_k, rfac), q2
+    return u_k, c_k
 
 
 def _gram_reduce(x: np.ndarray, y: np.ndarray) -> np.ndarray:
@@ -152,23 +196,41 @@ def gcrodr(a, b, m=None, *, options: Options | None = None,
             same_system = options.recycle_same_system or recycle.matches_operator(a.tag)
         if not same_system:
             # lines 3-7: re-orthonormalize against the *new* operator.
-            # Householder QR (TSQR-equivalent communication: one reduction)
-            # with column pivoting: the recycled space may be arbitrarily
-            # ill-conditioned under the new operator, and CholQR would square
-            # that conditioning.
+            # Low-synchronization schemes route this through CholQR2
+            # (BLAS-3, two reductions, shift-protected first pass); on a
+            # (near-)deficient block they fall back — like the legacy
+            # schemes always do — to pivoted Householder QR
+            # (TSQR-equivalent communication: one reduction), because the
+            # recycled space may be arbitrarily ill-conditioned under the
+            # new operator and plain CholQR would square that conditioning.
             au = op_apply(u_k)
-            q, rfac, piv = sla.qr(au, mode="economic", pivoting=True)
-            led.flop(Kernel.QR, 4.0 * n * u_k.shape[1] ** 2)
-            led.reduction(nbytes=u_k.shape[1] ** 2 * au.itemsize)
-            d = np.abs(np.diagonal(rfac))
-            rank = int(np.count_nonzero(d > options.deflation_tol * max(d[0], 1e-300))) \
-                if d.size else 0
-            if rank == 0:
-                u_k = np.zeros((n, 0), dtype=dtype)
-                c_k = np.zeros((n, 0), dtype=dtype)
-            else:
-                c_k = np.ascontiguousarray(q[:, :rank])
-                u_k = _project_solve(u_k[:, piv[:rank]], rfac[:rank, :rank])
+            adopted = False
+            if options.orthogonalization in LOW_SYNC_SCHEMES and u_k.shape[1]:
+                try:
+                    q, rfac = cholqr2(au)
+                except np.linalg.LinAlgError:
+                    q = None
+                if q is not None:
+                    d = np.abs(np.diagonal(rfac))
+                    if d.size and np.all(
+                            d > options.deflation_tol * max(d.max(), 1e-300)):
+                        c_k = q
+                        u_k = _project_solve(u_k, rfac)
+                        adopted = True
+            if not adopted:
+                q, rfac, piv = sla.qr(au, mode="economic", pivoting=True)
+                led.flop(Kernel.QR, 4.0 * n * u_k.shape[1] ** 2)
+                led.reduction(nbytes=u_k.shape[1] ** 2 * au.itemsize)
+                d = np.abs(np.diagonal(rfac))
+                rank = int(np.count_nonzero(
+                    d > options.deflation_tol * max(d[0], 1e-300))) \
+                    if d.size else 0
+                if rank == 0:
+                    u_k = np.zeros((n, 0), dtype=dtype)
+                    c_k = np.zeros((n, 0), dtype=dtype)
+                else:
+                    c_k = np.ascontiguousarray(q[:, :rank])
+                    u_k = _project_solve(u_k[:, piv[:rank]], rfac[:rank, :rank])
         if u_k.shape[1]:
             # the recycled identities must hold here whether they were just
             # re-established (lines 3-7) or assumed unchanged (the
@@ -244,6 +306,8 @@ def gcrodr(a, b, m=None, *, options: Options | None = None,
                     c_k = vstack @ qf
                     u_k = z @ s
                     led.flop(Kernel.BLAS3, 4.0 * n * vstack.shape[1] * qf.shape[1])
+                    u_k, c_k = _tidy_pair(u_k, c_k, op_apply,
+                                          options.orthogonalization)
                     chk.check_recycle(u_k, c_k, op_apply=op_apply,
                                       what="harvested recycle space")
 
@@ -339,6 +403,8 @@ def gcrodr(a, b, m=None, *, options: Options | None = None,
                     c_k = cv @ qf                    # line 36
                     u_k = uz @ s                     # line 37
                     led.flop(Kernel.BLAS3, 4.0 * n * cv.shape[1] * qf.shape[1])
+                    u_k, c_k = _tidy_pair(u_k, c_k, op_apply,
+                                          options.orthogonalization)
                     chk.check_recycle(u_k, c_k, op_apply=op_apply,
                                       what="updated recycle space")
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..la.blockqr import BlockHessenbergQR
+from ..la.orthogonalization import PseudoBlockOrthogonalizer
 from ..util import ledger
 from ..util.ledger import Kernel
 from ..util.misc import as_block, column_norms
@@ -132,6 +133,9 @@ def gmres(a, b, m=None, *, options: Options | None = None,
         hqrs = [BlockHessenbergQR(restart, 1, np.array([[beta[l]]]), dtype=dtype)
                 for l in range(p)]
         col_iters = np.zeros(p, dtype=int)  # Arnoldi columns built per RHS
+        orth = PseudoBlockOrthogonalizer(options.orthogonalization, n=n, p=p,
+                                         dtype=dtype, max_cols=restart + 1)
+        orth.begin(v[:1])
 
         j = 0
         while j < restart and np.any(active) and total_it < options.max_it:
@@ -139,20 +143,11 @@ def gmres(a, b, m=None, *, options: Options | None = None,
             if not identity_m:
                 z[j] = zj
             w = op_apply(zj)
-            # fused CGS orthogonalization against each column's own basis
-            basis = v[: j + 1]
-            dots = np.einsum("inp,np->ip", basis.conj(), w)
-            led.reduction(nbytes=(j + 1) * p * w.itemsize)
-            led.flop(Kernel.BLAS3, 4.0 * (j + 1) * n * p)
-            w = w - np.einsum("inp,ip->np", basis, dots)
-            if options.orthogonalization == "imgs":
-                d2 = np.einsum("inp,np->ip", basis.conj(), w)
-                led.reduction(nbytes=(j + 1) * p * w.itemsize)
-                led.flop(Kernel.BLAS3, 4.0 * (j + 1) * n * p)
-                w = w - np.einsum("inp,ip->np", basis, d2)
-                dots = dots + d2
-            nrm = column_norms(w)
-            led.reduction(nbytes=p * 8)
+            # fused orthogonalization against each column's own basis: the
+            # whole bundle advances with the active scheme's reduction count
+            # (cgs 2, imgs 3, mgs j+2, cgs2_1r 2, sketched 1 per step)
+            w, dots, nrm = orth.step(v[: j + 1], w, j)
+            appended = np.zeros(p, dtype=bool)
 
             new_res = np.zeros(p)
             for l in range(p):
@@ -169,12 +164,14 @@ def gmres(a, b, m=None, *, options: Options | None = None,
                     new_res[l] = float(res[0])
                     continue
                 v[j + 1, :, l] = w[:, l] / nrm[l]
+                appended[l] = True
                 hcol = np.concatenate([dots[:, l], [nrm[l]]]).reshape(-1, 1)
                 res = hqrs[l].add_column(hcol.astype(dtype))
                 col_iters[l] = j + 1
                 new_res[l] = float(res[0])
                 if new_res[l] <= targets[l]:
                     active[l] = False
+            orth.commit(appended)
             # history: converged/frozen columns keep their last value
             prev = history.records[-1] * np.where(history.rhs_norms > 0,
                                                   history.rhs_norms, 1.0)

@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..la.dense import hessenberg_harmonic_lhs, sorted_eig
+from ..la.orthogonalization import SCHEMES, PseudoBlockOrthogonalizer
 from ..util import ledger
 from ..util.ledger import Kernel
 from ..util.misc import as_block, column_norms
@@ -75,6 +76,12 @@ def gmresdr(a, b, m=None, *, options: Options | None = None,
     m_dim = min(options.gmres_restart, n - 1)
     total_it = 0
     cycles = 0
+    # GMRES-DR has always run its Arnoldi with one full reorthogonalization
+    # pass; "cgs" therefore maps to the equivalent two-pass scheme so the
+    # historical behavior (and reduction counts) are preserved exactly.
+    scheme = options.orthogonalization
+    if scheme == "cgs":
+        scheme = "imgs"
 
     # carried between cycles: augmented basis V (n x (k+1)) and the full
     # leading block H (k+1 x k); empty before the first cycle
@@ -105,22 +112,21 @@ def gmresdr(a, b, m=None, *, options: Options | None = None,
             led.reduction(nbytes=(kk + 1) * r.itemsize)
 
         # ---- (augmented) Arnoldi from column `start` to m ----------------
+        orth = PseudoBlockOrthogonalizer(scheme, n=n, p=1, dtype=dtype,
+                                         max_cols=m_dim + 1)
+        orth.begin(np.ascontiguousarray(
+            v[:, : start + 1].T)[:, :, np.newaxis])
         j = start
         lucky = False
         while j < m_dim and total_it < options.max_it:
             zj = v[:, j] if identity_m else np.asarray(
                 inner_m(v[:, j].reshape(-1, 1)))[:, 0].astype(dtype)
-            w = op_apply(zj.reshape(-1, 1))[:, 0]
-            coeffs = v[:, : j + 1].conj().T @ w
-            led.reduction(nbytes=(j + 1) * w.itemsize)
-            led.flop(Kernel.BLAS3, 4.0 * (j + 1) * n)
-            w = w - v[:, : j + 1] @ coeffs
-            c2 = v[:, : j + 1].conj().T @ w       # one re-orthogonalization
-            led.reduction(nbytes=(j + 1) * w.itemsize)
-            w = w - v[:, : j + 1] @ c2
-            coeffs = coeffs + c2
-            nrm = float(np.linalg.norm(w))
-            led.reduction()
+            w = op_apply(zj.reshape(-1, 1))
+            basis = np.ascontiguousarray(v[:, : j + 1].T)[:, :, np.newaxis]
+            w2, dots, nrms = orth.step(basis, w, j)
+            w = w2[:, 0]
+            coeffs = dots[:, 0]
+            nrm = float(nrms[0])
             hbar[: j + 1, j] = coeffs
             hbar[j + 1, j] = nrm
             total_it += 1
@@ -129,6 +135,7 @@ def gmresdr(a, b, m=None, *, options: Options | None = None,
                 lucky = True
                 break
             v[:, j] = w / nrm
+            orth.commit(np.ones(1, dtype=bool))
             # residual estimate via a small LS solve (redundant work)
             y_est, *_ = np.linalg.lstsq(hbar[: j + 1, :j], c_rhs[: j + 1],
                                         rcond=None)
@@ -198,6 +205,15 @@ def gmresdr(a, b, m=None, *, options: Options | None = None,
         v_aug = v[:, : jc + 1] @ q               # n x (kk+1), orthonormal
         h_lead = q[:, : kk + 1].conj().T @ hj @ q[:jc, :kk]
         led.flop(Kernel.BLAS3, 4.0 * n * (jc + 1) * (kk + 1))
+        if not SCHEMES[scheme].exact_basis:
+            # single-pass / sketched schemes leave V only approximately
+            # (sketch-)orthonormal; restore the carried augmented basis to
+            # machine precision so c_rhs = V^H r stays exact:
+            # V = Q2 R2  =>  A M Q2[:, :kk] = Q2 (R2 H R2[:kk,:kk]^-1)
+            q2, r2 = np.linalg.qr(v_aug)
+            led.flop(Kernel.QR, 4.0 * n * (kk + 1) ** 2)
+            v_aug = q2
+            h_lead = r2 @ h_lead @ np.linalg.inv(r2[:kk, :kk])
 
     result_x = x[:, 0] if squeeze else x
     info = {"variant": options.variant, "restart": m_dim, "k": k}

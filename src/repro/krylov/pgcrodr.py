@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..la.blockqr import BlockHessenbergQR
+from ..la.orthogonalization import SCHEMES, PseudoBlockOrthogonalizer
 from ..util import ledger
 from ..util.ledger import Kernel
 from ..util.misc import as_block, column_norms
@@ -28,7 +29,7 @@ from ..verify import checker_for
 from .base import (ConvergenceHistory, IdentityPreconditioner, SolveResult,
                    as_operator, initial_state, residual_targets)
 from .deflation import harmonic_ritz_vectors, generalized_ritz_vectors
-from .gcrodr import _harvest, _project_solve, _strategy_w
+from .gcrodr import _harvest, _project_solve, _strategy_w, _tidy_pair
 from .gmres import setup_preconditioning
 from .recycling import RecycledSubspace
 
@@ -199,6 +200,38 @@ def pgcrodr(a, b, m=None, *, options: Options | None = None,
                     col.chr_prev = col.c.conj().T @ r[:, l]
         if any(col.chr_prev is not None for col in cols):
             led.reduction(nbytes=p * 8)   # fused C^H r across columns
+        # cgs2_1r folds each column's C_l into both of its fused passes by
+        # stacking the (zero-padded) recycle blocks onto the basis tensor:
+        # the C cross terms get two-pass quality and the separate projection
+        # reduction disappears — 2 reductions/step with recycling, like the
+        # block engine.  The other schemes keep the single-pass C loop
+        # (their orth_tol covers it; sketched *must*, since its sketch basis
+        # tracks only V).
+        fold_ck = (options.orthogonalization == "cgs2_1r" and not harvesting
+                   and any(col.c is not None for col in cols))
+        ck_blocks = None
+        kmax = 0
+        if fold_ck:
+            kmax = max(col.k for col in cols if col.c is not None)
+            ck_blocks = np.zeros((kmax, n, p), dtype=dtype)
+            for l, col in enumerate(cols):
+                if col.c is not None:
+                    ck_blocks[: col.k, :, l] = col.c.T
+            # The folded projector treats [C_l V_l] as one orthonormal basis
+            # per column, so each column's v1 must start C_l-orthogonal.
+            # C_l^H r only vanishes up to the previous cycle's least-squares
+            # roundoff, and that cross term compounds across cycles and
+            # same-system solves; one fused projection per cycle caps the
+            # seed at rounding (the removed component is O(drift), so the
+            # normalization beta is unaffected to first order).
+            for l, col in enumerate(cols):
+                if col.active and col.c is not None:
+                    v[0, :, l] -= col.c @ (col.c.conj().T @ v[0, :, l])
+            led.flop(Kernel.BLAS3, 4.0 * n * kmax * p)
+            led.reduction(nbytes=p * kmax * v.itemsize)
+        orth = PseudoBlockOrthogonalizer(options.orthogonalization, n=n, p=p,
+                                         dtype=dtype, max_cols=steps + 1)
+        orth.begin(v[:1])
 
         j = 0
         while j < steps and any(c.active for c in cols) \
@@ -208,30 +241,28 @@ def pgcrodr(a, b, m=None, *, options: Options | None = None,
             if not identity_m:
                 z[j] = zj
             w = op_apply(zj)
-            # fused projection against each column's own C_l (1 reduction)
-            any_ck = False
-            for l, col in enumerate(cols):
-                if col.active and col.c is not None and not harvesting:
-                    e_col = col.c.conj().T @ w[:, l]
-                    w[:, l] -= col.c @ e_col
-                    col.e_cols.append(e_col.reshape(-1, 1))
-                    any_ck = True
-            if any_ck:
-                led.reduction(nbytes=p * k * w.itemsize)
-            # fused Arnoldi orthogonalization (1 reduction for the dots)
-            basis = v[: j + 1]
-            dots = np.einsum("inp,np->ip", basis.conj(), w)
-            led.reduction(nbytes=(j + 1) * p * w.itemsize)
-            led.flop(Kernel.BLAS3, 4.0 * (j + 1) * n * p)
-            w = w - np.einsum("inp,ip->np", basis, dots)
-            if options.orthogonalization == "imgs":
-                d2 = np.einsum("inp,np->ip", basis.conj(), w)
-                led.reduction(nbytes=(j + 1) * p * w.itemsize)
-                w = w - np.einsum("inp,ip->np", basis, d2)
-                dots = dots + d2
-            nrm = column_norms(w)
-            led.reduction(nbytes=p * 8)
+            if fold_ck:
+                aug = np.concatenate([ck_blocks, v[: j + 1]], axis=0)
+                w, adots, nrm = orth.step(aug, w, kmax + j)
+                dots = adots[kmax:]
+                for l, col in enumerate(cols):
+                    if col.active and col.c is not None:
+                        col.e_cols.append(adots[: col.k, l].reshape(-1, 1))
+            else:
+                # fused projection against each column's own C_l
+                # (1 reduction), then the scheme engine on the V basis
+                any_ck = False
+                for l, col in enumerate(cols):
+                    if col.active and col.c is not None and not harvesting:
+                        e_col = col.c.conj().T @ w[:, l]
+                        w[:, l] -= col.c @ e_col
+                        col.e_cols.append(e_col.reshape(-1, 1))
+                        any_ck = True
+                if any_ck:
+                    led.reduction(nbytes=p * k * w.itemsize)
+                w, dots, nrm = orth.step(v[: j + 1], w, j)
 
+            appended = np.zeros(p, dtype=bool)
             new_res = np.zeros(p)
             prev = history.records[-1] * np.where(history.rhs_norms > 0,
                                                   history.rhs_norms, 1.0)
@@ -247,12 +278,14 @@ def pgcrodr(a, b, m=None, *, options: Options | None = None,
                     new_res[l] = float(res_l[0])
                     continue
                 v[j + 1, :, l] = w[:, l] / nrm[l]
+                appended[l] = True
                 hcol = np.concatenate([dots[:, l], [nrm[l]]]).reshape(-1, 1)
                 res_l = col.hqr.add_column(hcol.astype(dtype))
                 col.steps = j + 1
                 new_res[l] = float(res_l[0])
                 if new_res[l] <= targets[l]:
                     col.active = False
+            orth.commit(appended)
             history.append(new_res)
             total_it += 1
             j += 1
@@ -336,6 +369,8 @@ def pgcrodr(a, b, m=None, *, options: Options | None = None,
                         np.column_stack([z[i, :, l] for i in range(jc)])
                     col.c = vstack @ qf
                     col.u = zstack @ s
+                    col.u, col.c = _tidy_pair(col.u, col.c, op_apply,
+                                              options.orthogonalization)
                     chk.check_recycle(
                         col.u, col.c, op_apply=op_apply,
                         what=f"harvested recycle space (column {l})")
@@ -366,6 +401,8 @@ def pgcrodr(a, b, m=None, *, options: Options | None = None,
                     uz = np.concatenate([u_tilde, zstack], axis=1)
                     col.c = cv @ qf
                     col.u = uz @ s
+                    col.u, col.c = _tidy_pair(col.u, col.c, op_apply,
+                                              options.orthogonalization)
                     chk.check_recycle(
                         col.u, col.c, op_apply=op_apply,
                         what=f"updated recycle space (column {l})")

@@ -1,4 +1,4 @@
-"""Orthogonalization kernels: Gram-Schmidt variants, CholQR, TSQR.
+"""Orthogonalization kernels: Gram-Schmidt variants, CholQR, TSQR, sketching.
 
 These are the communication-critical kernels of the paper (section III-D):
 
@@ -7,16 +7,28 @@ These are the communication-critical kernels of the paper (section III-D):
   Classical Gram-Schmidt and ``k`` (sequential!) reductions with Modified
   Gram-Schmidt;
 * Arnoldi orthogonalization against an existing basis costs one reduction
-  per *batch* of dot products (CGS), or one per basis vector (MGS).
+  per *batch* of dot products (CGS), or one per basis vector (MGS);
+* the low-synchronization schemes (``cgs2_1r``, ``cholqr2``, ``sketched``)
+  cap the count at <= 2 reductions per Arnoldi step at *every* basis depth
+  by fusing all Gram blocks of a pass into one stacked GEMM whose result
+  travels in a single reduction (Thomas/Baker/Gaudreault low-sync block
+  Gram-Schmidt; Burke/Guettel/Soodhalter sketched GMRES).
 
 Every kernel reports its (virtual) reduction count to the active
 :class:`repro.util.ledger.CostLedger`, which is how the benchmarks verify
 the ``2(m-k)`` vs ``m`` reductions-per-cycle claim.
 
 All kernels accept ``n x p`` blocks and work for real or complex dtypes.
+
+The module also owns the *scheme registry* (:data:`SCHEMES`): one table
+driving `Options` validation, the verifier's per-scheme drift tolerances,
+the docs matrix and the benchmark sweep, so a scheme added here is wired
+through every layer automatically.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 import scipy.linalg as sla
@@ -28,14 +40,98 @@ from ..util.misc import as_block, column_norms
 __all__ = [
     "cholqr",
     "shifted_cholqr",
+    "cholqr2",
     "cholqr_rr",
     "tsqr",
+    "sketched_qr",
     "classical_gram_schmidt_qr",
     "modified_gram_schmidt_qr",
     "qr_factorization",
     "project_out",
+    "project_out_fused",
     "arnoldi_orthogonalize",
+    "apply_sketch",
+    "sketch_size",
+    "make_arnoldi_engine",
+    "PseudoBlockOrthogonalizer",
+    "OrthoScheme",
+    "SCHEMES",
+    "ORTHO_SCHEME_NAMES",
+    "QR_SCHEME_NAMES",
+    "LOW_SYNC_SCHEMES",
+    "SCALE_AWARE_QR",
 ]
+
+
+@dataclass(frozen=True)
+class OrthoScheme:
+    """One row of the orthogonalization scheme registry.
+
+    ``arnoldi_reductions`` / ``loo_bound`` are the human-readable figures
+    quoted in docs/ORTHOGONALIZATION.md and the benchmark report;
+    ``orth_tol`` is the basis-orthonormality drift ceiling the runtime
+    verifier uses for the scheme (see ``verify/checker.py``), and
+    ``exact_basis`` records whether the scheme keeps the Krylov basis
+    orthonormal to machine precision (two-pass schemes) or only to a
+    bounded loss (single-pass / sketched) — recycled spaces harvested
+    under inexact schemes get re-orthonormalized explicitly.
+    """
+
+    name: str
+    is_ortho: bool                      # valid for Options.orthogonalization
+    is_qr: bool                         # valid for Options.qr
+    arnoldi_reductions: str = "-"       # reductions per Arnoldi step
+    loo_bound: str = "-"                # loss of orthogonality, informal
+    orth_tol: float = 1.0e-6            # verifier drift ceiling
+    residual_gap_rtol: float | None = None  # verifier override (None = keep)
+    exact_basis: bool = True
+    description: str = ""
+
+
+#: Single source of truth for every scheme name the options layer accepts.
+#: Order matters only for error-message stability (legacy names first).
+SCHEMES: dict[str, OrthoScheme] = {s.name: s for s in (
+    OrthoScheme("cgs", True, True, "2", "O(eps * kappa^2)", 1.0e-6,
+                description="classical Gram-Schmidt, one fused Gram per step"),
+    OrthoScheme("mgs", True, True, "j*p + 2", "O(eps * kappa)", 1.0e-6,
+                description="modified Gram-Schmidt, sequential reductions"),
+    # imgs keeps the default ceiling: its basis is two-pass quality, but the
+    # legacy cycle path projects C_k with a *single* pass, so the combined
+    # [C_k V] drift the verifier sees is still O(eps * kappa)-ish.
+    OrthoScheme("imgs", True, False, "3", "O(eps)", 1.0e-6,
+                description="iterated (two-pass) classical Gram-Schmidt"),
+    OrthoScheme("cgs2_1r", True, True, "2", "O(eps)", 1.0e-8,
+                description="CGS2 with one delayed reorthogonalization pass; "
+                            "Gram blocks fused into one stacked GEMM, norm "
+                            "by Pythagorean downdate: <=2 reductions/step"),
+    OrthoScheme("cholqr2", True, True, "2", "O(eps * kappa)", 1.0e-4,
+                exact_basis=False,
+                description="single-pass projection + CholQR2 intra-block "
+                            "normalizer: <=2 reductions/step"),
+    OrthoScheme("sketched", True, True, "1", "eps_s/(1 - eps_s) in sketch "
+                "space (exact when s = n)", 64.0, residual_gap_rtol=10.0,
+                exact_basis=False,
+                description="seeded SRHT sketch applied locally, sketch-space "
+                            "QR, one small reduction per step"),
+    OrthoScheme("cholqr", False, True, "-", "O(eps * kappa^2)", 1.0e-6,
+                description="Cholesky QR with shifted / rank-revealing "
+                            "fallbacks (intra-block only)"),
+    OrthoScheme("cholqr_rr", False, True, "-", "O(eps)", 1.0e-6,
+                description="rank-revealing CholQR (intra-block only)"),
+    OrthoScheme("tsqr", False, True, "-", "O(eps)", 1.0e-6,
+                description="tall-skinny QR reduction tree (intra-block only)"),
+    OrthoScheme("householder", False, True, "-", "O(eps)", 1.0e-6,
+                description="Householder QR (intra-block only)"),
+)}
+
+ORTHO_SCHEME_NAMES: tuple[str, ...] = tuple(
+    s.name for s in SCHEMES.values() if s.is_ortho)
+QR_SCHEME_NAMES: tuple[str, ...] = tuple(
+    s.name for s in SCHEMES.values() if s.is_qr)
+#: Arnoldi schemes routed through the stateful low-sync engine.
+LOW_SYNC_SCHEMES: tuple[str, ...] = ("cgs2_1r", "cholqr2", "sketched")
+#: QR schemes that accept an absolute ``scale`` for breakdown detection.
+SCALE_AWARE_QR: tuple[str, ...] = ("cholqr", "cholqr_rr", "sketched")
 
 
 def _gram(x: np.ndarray, y: np.ndarray) -> np.ndarray:
@@ -82,6 +178,19 @@ def shifted_cholqr(x: np.ndarray, *, refine: bool = True) -> tuple[np.ndarray, n
         q2, r2 = cholqr(q)
         return q2, r2 @ r
     return q, r
+
+
+def cholqr2(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """CholQR2: two passes of Cholesky QR — 2 reductions, O(eps) orthogonality.
+
+    The first pass uses the shifted Gram so the factorization cannot break
+    down; the second (the "2") restores orthogonality to machine precision.
+    This is also the intra-block normalizer of the ``cholqr2`` and
+    ``cgs2_1r`` Arnoldi schemes — for a single block the delayed
+    reorthogonalization pass of (B)CGS2-1r *is* the second Cholesky pass,
+    so both scheme names dispatch here for standalone QR.
+    """
+    return shifted_cholqr(x, refine=True)
 
 
 def cholqr_rr(x: np.ndarray, *, tol: float = 1e-12,
@@ -191,6 +300,86 @@ def householder_qr(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return np.linalg.qr(x)
 
 
+# ---------------------------------------------------------------------------
+# Sketching (SRHT): seeded sign flip + orthonormal DCT + row sampling.
+# The transform is applied to locally-owned rows; only the s x p sketched
+# result needs assembling, which is the single small reduction the callers
+# charge.  With s = n the operator is an exact isometry (no distortion), so
+# small test problems lose nothing; with s < n it is an eps-embedding of any
+# fixed s/4-dimensional subspace with high probability.
+# ---------------------------------------------------------------------------
+
+_SKETCH_SEED = 20260705
+_SKETCH_CACHE: dict[tuple[int, int, int], tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _srht_operator(n: int, s: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    key = (n, s, seed)
+    if key not in _SKETCH_CACHE:
+        if len(_SKETCH_CACHE) > 8:
+            _SKETCH_CACHE.clear()
+        rng = np.random.default_rng([_SKETCH_SEED, n, s, seed])
+        signs = rng.choice(np.array([-1.0, 1.0]), size=n)
+        rows = np.sort(rng.choice(n, size=s, replace=False)) if s < n \
+            else np.arange(n)
+        _SKETCH_CACHE[key] = (signs, rows)
+    return _SKETCH_CACHE[key]
+
+
+def sketch_size(n: int, max_cols: int) -> int:
+    """Default sketch dimension for a basis of at most ``max_cols`` columns."""
+    return int(min(n, max(32, 4 * max_cols + 16)))
+
+
+def apply_sketch(w: np.ndarray, s: int, *, seed: int = 0) -> np.ndarray:
+    """``S @ w`` for the seeded SRHT ``S = sqrt(n/s) P H D`` (s x p result).
+
+    Local work only (flops are charged here); the caller charges the one
+    global reduction that assembles the s x p sketched block.
+    """
+    from scipy.fft import dct
+
+    w = as_block(w)
+    n, p = w.shape
+    signs, rows = _srht_operator(n, s, seed)
+    y = dct(signs[:, None] * w, axis=0, norm="ortho", type=2)
+    ledger.current().flop(
+        Kernel.BLAS3, 2.0 * n * np.log2(max(n, 2)) * max(p, 1))
+    return np.ascontiguousarray(y[rows]) * np.sqrt(n / s)
+
+
+def sketched_qr(x: np.ndarray, *, tol: float = 1e-12,
+                scale: float | None = None, s: int | None = None,
+                seed: int = 0) -> tuple[np.ndarray, np.ndarray, int]:
+    """Sketched QR: sketch locally, QR the small sketch, whiten ``x``.
+
+    ``Q = x R^{-1}`` with ``R`` from the thin QR of ``S x`` — one small
+    reduction total.  ``Q`` is *sketch*-orthonormal: ``||I - Q^H Q|| <=
+    eps_s / (1 - eps_s)`` where ``eps_s`` is the embedding distortion
+    (0 when ``s = n``).  Rank is judged in sketch space; on deficiency the
+    kernel falls back to exact rank-revealing CholQR (extra reduction,
+    charged honestly) so the trailing-zero-column contract holds.
+    """
+    x = as_block(x)
+    n, p = x.shape
+    if s is None:
+        s = sketch_size(n, p)
+    sx = apply_sketch(x, s, seed=seed)
+    led = ledger.current()
+    led.reduction(nbytes=s * p * x.itemsize)
+    qs, rs = np.linalg.qr(sx)
+    led.flop(Kernel.QR, 4.0 * s * p**2)
+    d = np.abs(np.diag(rs))
+    smax = float(d.max(initial=0.0))
+    ref = max(smax, scale if scale is not None else 0.0, np.finfo(float).tiny)
+    rank = int(np.count_nonzero(d > tol * ref))
+    if rank < p:
+        return cholqr_rr(x, tol=tol, scale=scale)
+    q = sla.solve_triangular(rs.T, x.T, lower=True).T
+    led.flop(Kernel.BLAS3, 1.0 * n * p**2)
+    return q, rs, p
+
+
 def classical_gram_schmidt_qr(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Column-by-column CGS QR of a block: p reductions (paper section III-D)."""
     x = as_block(x)
@@ -242,7 +431,11 @@ _QR_DISPATCH = {
     "cholqr_rr": lambda x, tol: cholqr_rr(x, tol=tol),
     "tsqr": lambda x, tol: tsqr(x) + (x.shape[1],),
     "householder": lambda x, tol: householder_qr(x) + (x.shape[1],),
+    "cholqr2": lambda x, tol: cholqr2(x) + (x.shape[1],),
+    "cgs2_1r": lambda x, tol: cholqr2(x) + (x.shape[1],),
+    "sketched": lambda x, tol: sketched_qr(x, tol=tol),
 }
+assert set(QR_SCHEME_NAMES) <= set(_QR_DISPATCH), "registry out of sync"
 
 
 def qr_factorization(x: np.ndarray, scheme: str = "cholqr", *,
@@ -253,13 +446,16 @@ def qr_factorization(x: np.ndarray, scheme: str = "cholqr", *,
     Returns ``(Q, R, rank)``; non-rank-revealing schemes report full rank.
     CholQR falls back to the shifted variant, then to rank-revealing, when
     the plain Gram Cholesky breaks down.  ``scale`` is forwarded to the
-    rank-revealing scheme as the absolute reference magnitude.
+    schemes in :data:`SCALE_AWARE_QR` as the absolute reference magnitude.
     """
     x = as_block(x)
     if scheme not in _QR_DISPATCH:
-        raise ValueError(f"unknown QR scheme {scheme!r}")
+        raise ValueError(f"unknown QR scheme {scheme!r}; "
+                         f"expected one of {sorted(_QR_DISPATCH)}")
     if scheme == "cholqr_rr":
         return cholqr_rr(x, tol=tol, scale=scale)
+    if scheme == "sketched":
+        return sketched_qr(x, tol=tol, scale=scale)
     if scheme == "cholqr":
         try:
             q, r = cholqr(x)
@@ -273,17 +469,81 @@ def qr_factorization(x: np.ndarray, scheme: str = "cholqr", *,
     return _QR_DISPATCH[scheme](x, tol)
 
 
+def _stacked_gram(basis: np.ndarray, w: np.ndarray
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """``[basis | w]^H w`` as ONE stacked GEMM / ONE fused reduction.
+
+    Returns ``(coeffs, wgram)``: the projection coefficients ``basis^H w``
+    *and* the small Gram ``w^H w``, whose payloads travel together in a
+    single reduction.  This is the projector layout shared by the
+    low-synchronization Arnoldi engines: the remainder Gram comes for free
+    with the reorthogonalization coefficients, so the intra-block
+    normalizer needs no further communication.
+    """
+    n, k = basis.shape
+    p = w.shape[1]
+    led = ledger.current()
+    led.flop(Kernel.BLAS3, 2.0 * n * (k + p) * p)
+    led.reduction(nbytes=(k + p) * p * w.itemsize)
+    g = np.concatenate([basis, w], axis=1).conj().T @ w
+    return g[:k], g[k:]
+
+
+def project_out_fused(basis: np.ndarray, w: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+    """CGS2-1r projection: two passes, two fused reductions, free Gram.
+
+    Pass 1 stacks the projection coefficients with ``w^H w`` (which yields
+    the pre-projection scale for breakdown detection); pass 2 — the delayed
+    reorthogonalization — stacks the correction coefficients with
+    ``w1^H w1``, from which the remainder Gram ``w2^H w2`` follows by the
+    Pythagorean downdate ``wgram = w1^H w1 - c2^H c2`` without touching the
+    network again.  Returns ``(w2, coeffs, wgram, scale)``.
+
+    Compared to the legacy ``imgs`` + separate QR-Gram sequence (3
+    reductions, 5 full-length GEMM sweeps) this is 2 reductions and 4
+    sweeps — the hoisted double-Gram of the refine path.
+    """
+    w = as_block(w)
+    p = w.shape[1]
+    if basis.size == 0:
+        g = _gram(w, w)
+        scale = float(np.sqrt(max(np.max(np.diag(g).real, initial=0.0), 0.0)))
+        return w.copy(), np.zeros((0, p), dtype=w.dtype), g, scale
+    c1, wg0 = _stacked_gram(basis, w)
+    led = ledger.current()
+    w1 = w - basis @ c1
+    led.flop(Kernel.BLAS3, 2.0 * basis.shape[0] * basis.shape[1] * p)
+    c2, wg1 = _stacked_gram(basis, w1)
+    w2 = w1 - basis @ c2
+    led.flop(Kernel.BLAS3, 2.0 * basis.shape[0] * basis.shape[1] * p)
+    wgram = wg1 - c2.conj().T @ c2
+    wgram = 0.5 * (wgram + wgram.conj().T)
+    # guard the downdate: after a first projection pass the second-pass
+    # correction is tiny, so diag(wgram) ~ diag(wg1); severe cancellation
+    # means w was (numerically) inside the basis — recompute honestly.
+    d, d1 = np.diag(wgram).real, np.diag(wg1).real
+    if np.any(d < 0.25 * d1) or np.any(d < 0.0):
+        wgram = _gram(w2, w2)
+    scale = float(np.sqrt(max(np.max(np.diag(wg0).real, initial=0.0), 0.0)))
+    return w2, c1 + c2, wgram, scale
+
+
 def project_out(basis: np.ndarray, w: np.ndarray, *,
                 scheme: str = "cgs") -> tuple[np.ndarray, np.ndarray]:
     """Orthogonalize the block ``w`` against the orthonormal ``basis``.
 
     Returns ``(w_perp, coeffs)`` with ``w_perp = w - basis @ coeffs``.
     This is the ``(I - C_k C_k^H)`` application of the paper (line 26):
-    CGS does it in one reduction, MGS in ``k`` sequential reductions.
+    CGS does it in one reduction, MGS in ``k`` sequential reductions,
+    CGS2-1r in two fused reductions (both passes as stacked GEMMs).
     """
     w = as_block(w)
     if basis.size == 0:
         return w.copy(), np.zeros((0, w.shape[1]), dtype=w.dtype)
+    if scheme == "cgs2_1r":
+        w2, coeffs, _, _ = project_out_fused(basis, w)
+        return w2, coeffs
     if scheme in ("cgs", "imgs"):
         coeffs = _gram(basis, w)
         w2 = w - basis @ coeffs
@@ -325,11 +585,418 @@ def arnoldi_orthogonalize(basis_blocks: np.ndarray, w: np.ndarray, *,
     remainder (``< p`` signals an exact block breakdown).  Rank is judged
     against the magnitude of ``w`` *before* projection, so a candidate that
     lies entirely inside the basis is reported as rank 0.
+
+    The low-synchronization schemes (:data:`LOW_SYNC_SCHEMES`) carry their
+    own fused intra-block normalizer, so ``qr_scheme`` is ignored for them;
+    a one-shot ``sketched`` call sketches the basis too (in the stateful
+    engine used by the solvers that cost is amortized across the cycle).
     """
+    if scheme in LOW_SYNC_SCHEMES:
+        engine = make_arnoldi_engine(scheme, tol=tol,
+                                     max_cols=basis_blocks.shape[1] + w.shape[1])
+        engine.begin_stacked(basis_blocks, dtype=w.dtype)
+        q, h, s, rank, _ = engine.step([basis_blocks] if basis_blocks.size
+                                       else [], w)
+        return q, h, s, rank
     scale = float(np.max(column_norms(w), initial=0.0))
     w2, h = project_out(basis_blocks, w, scheme=scheme)
-    if qr_scheme in ("cholqr", "cholqr_rr"):
+    if qr_scheme in SCALE_AWARE_QR:
         q, s, rank = qr_factorization(w2, qr_scheme, tol=tol, scale=scale)
     else:
         q, s, rank = qr_factorization(w2, qr_scheme, tol=tol)
     return q, h, s, rank
+
+
+# ---------------------------------------------------------------------------
+# Low-synchronization block Arnoldi engines (tentpole).
+#
+# One engine instance lives for one Arnoldi cycle.  ``step`` orthogonalizes
+# the candidate block against the whole basis *and* the optional recycled
+# space C_k with at most two fused reductions (one for ``sketched``),
+# returning the same (q, h, s, rank, e_col) contract the legacy inline
+# sequence produces.  The recycled-space projection is folded into the same
+# stacked projector, so C_k costs no extra reduction.
+# ---------------------------------------------------------------------------
+
+
+def _chol_normalize(w2: np.ndarray, gram: np.ndarray, *, shift: bool
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """q, r from a precomputed (downdated) remainder Gram — no reduction."""
+    p = gram.shape[0]
+    led = ledger.current()
+    g = gram
+    if shift:
+        n = w2.shape[0]
+        u = np.finfo(w2.dtype).eps
+        g = g + (11.0 * (n * p + p * (p + 1)) * u *
+                 float(np.trace(g).real)) * np.eye(p, dtype=g.dtype)
+    r = np.linalg.cholesky(g).conj().T
+    led.flop(Kernel.FACTORIZATION, p**3 / 3.0)
+    q = sla.solve_triangular(r.T, w2.T, lower=True).T
+    led.flop(Kernel.BLAS3, 1.0 * w2.shape[0] * p**2)
+    return q, r
+
+
+class _EngineBase:
+    """Shared plumbing: stacked projector [C_k | V] and the fallback path."""
+
+    def __init__(self, *, tol: float, max_cols: int, seed: int = 0):
+        self.tol = tol
+        self.max_cols = max_cols
+        self.seed = seed
+
+    def begin(self, v1: np.ndarray, ck: np.ndarray | None = None) -> None:
+        """Start a cycle from the first basis block (stateful schemes)."""
+
+    def begin_stacked(self, basis: np.ndarray, *, dtype) -> None:
+        """One-shot entry for ``arnoldi_orthogonalize``."""
+
+    @staticmethod
+    def _projector(v_blocks: list[np.ndarray], ck: np.ndarray | None,
+                   w: np.ndarray) -> tuple[np.ndarray, int]:
+        k = ck.shape[1] if ck is not None and ck.size else 0
+        parts = ([ck] if k else []) + [b for b in v_blocks if b.shape[1]]
+        if not parts:
+            return np.zeros((w.shape[0], 0), dtype=w.dtype), 0
+        return np.concatenate(parts, axis=1), k
+
+    @staticmethod
+    def _split(coeffs: np.ndarray, k: int
+               ) -> tuple[np.ndarray | None, np.ndarray]:
+        return (coeffs[:k] if k else None), coeffs[k:]
+
+
+class _Cgs21rEngine(_EngineBase):
+    """CGS2-1r: two stacked-GEMM passes, Gram-downdated normalizer.
+
+    Reduction 1 carries [C_k | V]^H w stacked with w^H w; reduction 2
+    carries the delayed reorthogonalization coefficients stacked with
+    w1^H w1, from which the remainder Gram follows by downdate — so the
+    Cholesky normalizer is communication-free.  <= 2 reductions per step
+    at every basis depth (an extra honest reduction only on the rare
+    cancellation / breakdown fallback).
+    """
+
+    def step(self, v_blocks, w, *, ck=None):
+        proj, k = self._projector(v_blocks, ck, w)
+        w2, coeffs, wgram, scale = project_out_fused(proj, w)
+        e_col, h = self._split(coeffs, k)
+        d = np.diag(wgram).real
+        floor = max(self.tol * scale, np.finfo(float).tiny) ** 2
+        try:
+            if np.any(d <= floor):
+                raise np.linalg.LinAlgError
+            q, r = _chol_normalize(w2, wgram, shift=False)
+            rank = w.shape[1]
+        except np.linalg.LinAlgError:
+            q, r, rank = cholqr_rr(w2, tol=self.tol, scale=scale)
+        return q, h, r, rank, e_col
+
+
+class _Cholqr2Engine(_EngineBase):
+    """Single-pass stacked projection + CholQR2 intra-block normalizer.
+
+    Reduction 1 carries [C_k | V]^H w stacked with w^H w; the first
+    Cholesky pass runs on the downdated remainder Gram (shifted, so it
+    cannot break down), and reduction 2 is the explicit second Cholesky
+    pass restoring intra-block orthonormality to machine precision.
+    Inter-block orthogonality is single-pass CGS quality — the verifier
+    scales its drift tolerance accordingly (see the registry).
+    """
+
+    def step(self, v_blocks, w, *, ck=None):
+        proj, k = self._projector(v_blocks, ck, w)
+        if proj.shape[1] == 0:
+            q, r, rank = cholqr_rr(w, tol=self.tol)
+            return q, np.zeros((0, w.shape[1]), dtype=w.dtype), r, rank, None
+        c1, wg0 = _stacked_gram(proj, w)
+        led = ledger.current()
+        w1 = w - proj @ c1
+        led.flop(Kernel.BLAS3, 2.0 * proj.shape[0] * proj.shape[1] * w.shape[1])
+        e_col, h = self._split(c1, k)
+        g1 = wg0 - c1.conj().T @ c1
+        g1 = 0.5 * (g1 + g1.conj().T)
+        d, d0 = np.diag(g1).real, np.diag(wg0).real
+        scale = float(np.sqrt(max(np.max(d0, initial=0.0), 0.0)))
+        floor = max(self.tol * scale, np.finfo(float).tiny) ** 2
+        # downdate accuracy guard: if the remainder kept less than ~1e-10
+        # of the candidate's mass the subtraction has cancelled away all
+        # significant digits — or the block broke down; both take the
+        # honest rank-revealing fallback.
+        try:
+            if np.any(d <= floor) or np.any(d < 1e-10 * np.maximum(d0, floor)):
+                raise np.linalg.LinAlgError
+            q1, r1 = _chol_normalize(w1, g1, shift=True)
+            q, r2 = cholqr(q1)                     # reduction 2: the "2"
+            q, r, rank = q, r2 @ r1, w.shape[1]
+        except np.linalg.LinAlgError:
+            q, r, rank = cholqr_rr(w1, tol=self.tol, scale=scale)
+        return q, h, r, rank, e_col
+
+
+class _SketchedEngine(_EngineBase):
+    """Sketch-space Arnoldi orthogonalization: ONE reduction per step.
+
+    The engine keeps the sketched basis with *orthonormal* columns (the
+    first block is whitened locally; every appended block is sketch-
+    orthonormal by construction), so the sketch-space least-squares
+    projection and the normalization are local small-matrix work.  The
+    produced basis is sketch-orthonormal only; the Arnoldi relation
+    ``w = C e + V h + q s`` holds exactly by construction.
+    """
+
+    def __init__(self, *, tol, max_cols, seed=0):
+        super().__init__(tol=tol, max_cols=max_cols, seed=seed)
+        self._qs: np.ndarray | None = None   # s x cols, orthonormal
+        self._t0: np.ndarray | None = None   # leading-block whitener
+        self._sck: np.ndarray | None = None  # sketched C_k
+        self.s = 0
+
+    def _setup(self, blocks: list[np.ndarray], ck, *, dtype, n: int) -> None:
+        self.s = sketch_size(n, self.max_cols)
+        k = ck.shape[1] if ck is not None and ck.size else 0
+        cols = sum(b.shape[1] for b in blocks)
+        led = ledger.current()
+        led.reduction(nbytes=self.s * (cols + k) * np.dtype(dtype).itemsize)
+        if k:
+            self._sck = apply_sketch(ck, self.s, seed=self.seed)
+        if cols:
+            sv = apply_sketch(np.concatenate(blocks, axis=1), self.s,
+                              seed=self.seed)
+            self._qs, self._t0 = np.linalg.qr(sv)
+            led.flop(Kernel.QR, 4.0 * self.s * cols**2)
+        else:
+            self._qs = np.zeros((self.s, 0), dtype=dtype)
+            self._t0 = np.zeros((0, 0), dtype=dtype)
+
+    def begin(self, v1, ck=None):
+        self._setup([v1], ck, dtype=v1.dtype, n=v1.shape[0])
+
+    def begin_stacked(self, basis, *, dtype):
+        self._setup([basis] if basis.size else [], None, dtype=dtype,
+                    n=basis.shape[0])
+
+    def step(self, v_blocks, w, *, ck=None):
+        led = ledger.current()
+        n, p = w.shape
+        k = ck.shape[1] if ck is not None and ck.size else 0
+        # ONE fused reduction: the sketched candidate stacked with the
+        # exact recycled-space Gram C_k^H w (both are global row sums).
+        led.reduction(nbytes=(self.s + k) * p * w.itemsize)
+        sw = apply_sketch(w, self.s, seed=self.seed)
+        scale_s = float(np.max(column_norms(sw), initial=0.0))
+        e_col = None
+        if k:
+            e_col = ck.conj().T @ w
+            led.flop(Kernel.BLAS3, 4.0 * n * k * p)
+            w = w - ck @ e_col
+            sw = sw - self._sck @ e_col
+        w0 = self._t0.shape[0]
+        c = self._qs.conj().T @ sw                       # local, cols x p
+        y = c.copy()
+        if w0:
+            y[:w0] = sla.solve_triangular(self._t0, c[:w0])
+        blocks = [b for b in v_blocks if b.shape[1]]
+        basis = np.concatenate(blocks, axis=1) if blocks else \
+            np.zeros((n, 0), dtype=w.dtype)
+        if basis.shape[1] != self._qs.shape[1]:
+            raise ValueError(
+                f"sketched engine state holds {self._qs.shape[1]} basis "
+                f"columns but step received {basis.shape[1]}; the engine "
+                "must see every appended block (begin + successive steps)")
+        w2 = w - basis @ y
+        led.flop(Kernel.BLAS3, 2.0 * n * basis.shape[1] * p)
+        rs = sw - self._qs @ c                           # sketch residual
+        qn, rfac = np.linalg.qr(rs)
+        led.flop(Kernel.QR, 4.0 * self.s * p**2)
+        d = np.abs(np.diag(rfac))
+        ref = max(scale_s, np.finfo(float).tiny)
+        rank = int(np.count_nonzero(d > self.tol * ref))
+        if rank < p:
+            # breakdown: hand the remainder to the exact rank-revealing
+            # path (its zero-column contract is what the cycle expects);
+            # the cycle terminates here, so the sketch state stays valid.
+            led.reduction(nbytes=p * 8)
+            scale = float(np.max(column_norms(w), initial=0.0))
+            q, r, rank = cholqr_rr(w2, tol=self.tol, scale=scale)
+            return q, y, r, rank, e_col
+        q = sla.solve_triangular(rfac.T, w2.T, lower=True).T
+        led.flop(Kernel.BLAS3, 1.0 * n * p**2)
+        self._qs = np.concatenate([self._qs, qn], axis=1)
+        return q, y, rfac, rank, e_col
+
+
+_ENGINES = {"cgs2_1r": _Cgs21rEngine, "cholqr2": _Cholqr2Engine,
+            "sketched": _SketchedEngine}
+
+
+def make_arnoldi_engine(scheme: str, *, tol: float = 1e-12,
+                        max_cols: int = 0, seed: int = 0) -> _EngineBase:
+    """Engine factory for the low-synchronization Arnoldi schemes.
+
+    ``max_cols`` bounds the total basis width of the cycle (used to size
+    the sketch).  Legacy schemes (cgs/imgs/mgs) keep the inline
+    project-then-QR sequence in the callers and are not built here.
+    """
+    if scheme not in _ENGINES:
+        raise ValueError(f"unknown low-synchronization scheme {scheme!r}; "
+                         f"expected one of {LOW_SYNC_SCHEMES}")
+    return _ENGINES[scheme](tol=tol, max_cols=max_cols, seed=seed)
+
+
+class PseudoBlockOrthogonalizer:
+    """Fused per-column Arnoldi orthogonalization for the pseudo-block
+    solvers (gmres / pgcrodr / gmresdr).
+
+    The basis is a ``(j+1, n, p)`` tensor whose ``[:, :, l]`` slice is
+    column ``l``'s Krylov basis; all ``p`` recurrences advance together, so
+    every scheme charges its reductions once per step for the whole bundle
+    (payload bytes scale with ``p``; message counts do not, paper §V-B2).
+
+    Per step: ``cgs`` 2 reductions (dots + norms, the legacy sequence),
+    ``imgs`` 3, ``mgs`` ``j+2`` (the O(j) oracle), ``cgs2_1r`` 2 (both
+    passes fused with the column norms, final norm by Pythagorean
+    downdate), ``cholqr2`` 2 (for width-1 recurrences the intra-block
+    normalizer degenerates to an exact renormalization, i.e. single-pass
+    CGS + exact norms), ``sketched`` 1 (the sketched candidate; the
+    projection and normalization are sketch-space local work).
+    """
+
+    def __init__(self, scheme: str, *, n: int, p: int, dtype,
+                 max_cols: int, seed: int = 0):
+        if scheme not in ORTHO_SCHEME_NAMES:
+            raise ValueError(f"unknown orthogonalization scheme {scheme!r}; "
+                             f"expected one of {ORTHO_SCHEME_NAMES}")
+        self.scheme = scheme
+        self.n, self.p = n, p
+        self.dtype = np.dtype(dtype)
+        self.seed = seed
+        self.s = sketch_size(n, max_cols) if scheme == "sketched" else 0
+        self._qs: np.ndarray | None = None   # (max_cols, s, p) sketch basis
+        self._t0: np.ndarray | None = None   # (w0, w0, p) leading whiteners
+        self._cols = 0
+        self._max_cols = max_cols
+        self._pending: tuple[np.ndarray, np.ndarray] | None = None
+
+    # -- sketch state ------------------------------------------------------
+
+    def begin(self, v0: np.ndarray) -> None:
+        """Start a cycle from the ``(w0, n, p)`` initial basis tensor.
+
+        For ``sketched`` this sketches the initial columns (one reduction)
+        and whitens them per column so later steps are one reduction each;
+        for every other scheme it is free.
+        """
+        if self.scheme != "sketched":
+            return
+        w0, n, p = v0.shape
+        led = ledger.current()
+        led.reduction(nbytes=self.s * w0 * p * self.dtype.itemsize)
+        sv = apply_sketch(v0.transpose(1, 0, 2).reshape(n, w0 * p),
+                          self.s, seed=self.seed).reshape(self.s, w0, p)
+        self._qs = np.zeros((self._max_cols, self.s, p), dtype=self.dtype)
+        self._t0 = np.zeros((w0, w0, p), dtype=self.dtype)
+        for l in range(p):
+            qs, t0 = np.linalg.qr(sv[:, :, l])
+            self._qs[:w0, :, l] = qs.T
+            self._t0[:, :, l] = t0
+        led.flop(Kernel.QR, 4.0 * self.s * w0**2 * p)
+        self._cols = w0
+        self._pending = None
+
+    def commit(self, mask: np.ndarray) -> None:
+        """Append the step's new basis column for the columns in ``mask``
+        (the ones actually normalized; frozen columns append zero)."""
+        if self.scheme != "sketched" or self._pending is None:
+            return
+        rs, nrm = self._pending
+        col = np.zeros((self.s, self.p), dtype=self.dtype)
+        use = mask & (nrm > 0)
+        if np.any(use):
+            col[:, use] = rs[:, use] / nrm[use]
+        self._qs[self._cols] = col
+        self._cols += 1
+        self._pending = None
+
+    # -- the per-step kernel ----------------------------------------------
+
+    def step(self, basis: np.ndarray, w: np.ndarray, j: int
+             ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Orthogonalize ``w`` (n x p) against ``basis`` ((j+1, n, p)).
+
+        Returns ``(w2, dots, nrm)``: the remainder, the ``(j+1) x p``
+        projection coefficients and the per-column normalization factors
+        (for ``sketched`` these are sketch-space norms).  The caller
+        normalizes / freezes columns and then calls :meth:`commit`.
+        """
+        led = ledger.current()
+        n, p = w.shape
+        if self.scheme == "mgs":
+            w2 = np.array(w, copy=True)
+            dots = np.zeros((j + 1, p), dtype=w.dtype)
+            for i in range(j + 1):
+                c = np.einsum("np,np->p", basis[i].conj(), w2)
+                led.reduction(nbytes=p * w.itemsize)
+                led.flop(Kernel.BLAS2, 4.0 * n * p)
+                w2 = w2 - basis[i] * c
+                dots[i] = c
+            nrm = column_norms(w2)
+            led.reduction(nbytes=p * 8)
+            return w2, dots, nrm
+        if self.scheme in ("cgs", "imgs", "cholqr2"):
+            dots = np.einsum("inp,np->ip", basis.conj(), w)
+            led.reduction(nbytes=(j + 1) * p * w.itemsize)
+            led.flop(Kernel.BLAS3, 4.0 * (j + 1) * n * p)
+            w2 = w - np.einsum("inp,ip->np", basis, dots)
+            if self.scheme == "imgs":
+                d2 = np.einsum("inp,np->ip", basis.conj(), w2)
+                led.reduction(nbytes=(j + 1) * p * w.itemsize)
+                led.flop(Kernel.BLAS3, 4.0 * (j + 1) * n * p)
+                w2 = w2 - np.einsum("inp,ip->np", basis, d2)
+                dots = dots + d2
+            nrm = column_norms(w2)
+            led.reduction(nbytes=p * 8)
+            return w2, dots, nrm
+        if self.scheme == "cgs2_1r":
+            # pass 1: dots stacked with the column masses of w
+            d1 = np.einsum("inp,np->ip", basis.conj(), w)
+            led.reduction(nbytes=((j + 1) * p + p) * w.itemsize)
+            led.flop(Kernel.BLAS3, 4.0 * (j + 1) * n * p + 2.0 * n * p)
+            w1 = w - np.einsum("inp,ip->np", basis, d1)
+            # pass 2 (delayed reorth): correction stacked with |w1| masses
+            d2 = np.einsum("inp,np->ip", basis.conj(), w1)
+            w1sq = np.einsum("np,np->p", w1.conj(), w1).real
+            led.reduction(nbytes=((j + 1) * p + p) * w.itemsize)
+            led.flop(Kernel.BLAS3, 4.0 * (j + 1) * n * p + 2.0 * n * p)
+            w2 = w1 - np.einsum("inp,ip->np", basis, d2)
+            dots = d1 + d2
+            nrm2 = w1sq - np.einsum("ip,ip->p", d2.conj(), d2).real
+            nrm = np.sqrt(np.maximum(nrm2, 0.0))
+            # cancellation guard: the second pass removes a tiny correction,
+            # so nrm2 ~ w1sq; a large drop means the downdate cancelled —
+            # recompute those columns honestly (rare: near-breakdown only).
+            bad = (nrm2 < 0.25 * w1sq) & (w1sq > 0)
+            if np.any(bad):
+                led.reduction(nbytes=int(np.count_nonzero(bad)) * 8)
+                nrm = np.where(bad, column_norms(w2), nrm)
+            return w2, dots, nrm
+        # sketched: ONE reduction (the sketched candidate)
+        led.reduction(nbytes=self.s * p * self.dtype.itemsize)
+        sw = apply_sketch(w, self.s, seed=self.seed)
+        qs = self._qs[:j + 1]                            # (j+1, s, p)
+        c = np.einsum("isp,sp->ip", qs.conj(), sw)       # local
+        y = c.copy()
+        w0 = self._t0.shape[0]
+        for l in range(p):                               # whiten leading block
+            t0 = self._t0[:min(w0, j + 1), :min(w0, j + 1), l]
+            # a singular whitener marks a dead bundle column (zero initial
+            # vector, e.g. an already-converged pseudo-block column): its
+            # sketch coefficients are zero, so skip the solve
+            if t0.shape[0] and np.all(np.abs(np.diag(t0)) > 0):
+                y[:t0.shape[0], l] = sla.solve_triangular(t0, c[:t0.shape[0], l])
+        w2 = w - np.einsum("inp,ip->np", basis, y)
+        led.flop(Kernel.BLAS3, 4.0 * (j + 1) * n * p)
+        rs = sw - np.einsum("isp,ip->sp", qs, c)
+        nrm = np.sqrt(np.einsum("sp,sp->p", rs.conj(), rs).real)
+        self._pending = (rs, nrm)
+        return w2, y, nrm

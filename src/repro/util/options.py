@@ -23,11 +23,16 @@ class OptionError(ValueError):
     """Raised when an option value is out of its validity domain."""
 
 
+def _scheme_names() -> tuple[tuple[str, ...], tuple[str, ...]]:
+    # Single source of truth: the scheme registry in la/orthogonalization
+    # (deferred import: util must stay importable before la).
+    from ..la.orthogonalization import ORTHO_SCHEME_NAMES, QR_SCHEME_NAMES
+    return ORTHO_SCHEME_NAMES, QR_SCHEME_NAMES
+
+
 _KRYLOV_METHODS = ("gmres", "bgmres", "cg", "bcg", "gcrodr", "bgcrodr",
                    "gmresdr", "lgmres", "richardson", "none")
 _VARIANTS = ("left", "right", "flexible")
-_ORTHO = ("cgs", "mgs", "imgs")
-_QR = ("cholqr", "cholqr_rr", "cgs", "mgs", "tsqr", "householder")
 _STRATEGIES = ("A", "B")
 _TARGETS = ("smallest", "largest", "smallest_real", "largest_real")
 _VERIFY_LEVELS = ("off", "cheap", "full")
@@ -159,12 +164,13 @@ class Options:
             )
         if self.variant not in _VARIANTS:
             raise OptionError(f"unknown variant {self.variant!r}; expected one of {_VARIANTS}")
-        if self.orthogonalization not in _ORTHO:
+        ortho_names, qr_names = _scheme_names()
+        if self.orthogonalization not in ortho_names:
             raise OptionError(
-                f"unknown orthogonalization {self.orthogonalization!r}; expected one of {_ORTHO}"
+                f"unknown orthogonalization {self.orthogonalization!r}; expected one of {ortho_names}"
             )
-        if self.qr not in _QR:
-            raise OptionError(f"unknown qr {self.qr!r}; expected one of {_QR}")
+        if self.qr not in qr_names:
+            raise OptionError(f"unknown qr {self.qr!r}; expected one of {qr_names}")
         if self.recycle_strategy not in _STRATEGIES:
             raise OptionError(
                 f"unknown recycle_strategy {self.recycle_strategy!r}; expected one of {_STRATEGIES}"

@@ -389,8 +389,37 @@ def checker_for(options, *, context: str = ""
     """
     amb = current()
     if not amb.is_off:
+        # the api-level ambient checker is built without seeing the solver
+        # options; scale it here so scheme-dependent ceilings still apply
+        if isinstance(amb, InvariantChecker):
+            _apply_scheme_tolerances(amb, options)
         return amb
     level = getattr(options, "verify", "off")
     if level == "off":
         return NULL_CHECKER
-    return InvariantChecker(level, context=context)
+    chk = InvariantChecker(level, context=context)
+    _apply_scheme_tolerances(chk, options)
+    return chk
+
+
+def _apply_scheme_tolerances(chk: InvariantChecker, options) -> InvariantChecker:
+    """Scale drift tolerances to the active orthogonalization scheme.
+
+    The ceiling for basis-orthonormality drift is the scheme's theoretical
+    loss-of-orthogonality bound from the registry
+    (:data:`repro.la.orthogonalization.SCHEMES`): two-pass schemes are held
+    to a *tighter* ceiling than the default (so regressions are not masked),
+    single-pass and sketched schemes to the looser one their analysis
+    guarantees (so ``verify=full`` does not false-positive by design).
+    Sketch-space schemes report sketched residual estimates, so their
+    residual-gap tolerance widens as well.  Recycled-space tolerances stay
+    tight for every scheme: the solvers re-orthonormalize ``C_k`` exactly
+    whenever the scheme's basis is inexact.
+    """
+    from ..la.orthogonalization import SCHEMES  # deferred: keep verify light
+    info = SCHEMES.get(getattr(options, "orthogonalization", ""))
+    if info is not None and info.is_ortho:
+        chk.orth_tol = info.orth_tol
+        if info.residual_gap_rtol is not None:
+            chk.residual_gap_rtol = info.residual_gap_rtol
+    return chk

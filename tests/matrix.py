@@ -47,12 +47,16 @@ class Config:
     strategy: str = "A"
     precond: bool = True
     seed: int = 0
+    ortho: str = "cgs"
 
     def id(self) -> str:
         dt = "c128" if self.dtype is np.complex128 else "f64"
         pc = self.variant if self.precond else "none"
-        return (f"{self.method}-{pc}-{self.exec_mode}-{dt}-p{self.p}"
+        base = (f"{self.method}-{pc}-{self.exec_mode}-{dt}-p{self.p}"
                 f"-{self.strategy}")
+        if self.ortho != "cgs":
+            base += f"-{self.ortho}"
+        return base
 
     def options(self, *, verify: str = "full", tol: float = 1e-8) -> Options:
         kw = {}
@@ -62,7 +66,7 @@ class Config:
         return Options(krylov_method=self.method, gmres_restart=20, tol=tol,
                        max_it=2000, variant=self.variant if self.precond
                        else "right", exec_mode=self.exec_mode, verify=verify,
-                       **kw)
+                       orthogonalization=self.ortho, **kw)
 
 
 def conformance_matrix(full: bool = False) -> list[Config]:
@@ -92,6 +96,13 @@ def conformance_matrix(full: bool = False) -> list[Config]:
                 add(Config(method, variant="flexible", p=p))
         add(Config("gcrodr", p=3, strategy="B"))
         add(Config("bgmres", p=3, dtype=np.complex128))
+        # low-synchronization orthogonalization engine: the block engine
+        # (bgmres/bgcrodr), the pseudo-block per-column path (gcrodr) and
+        # GMRES-DR each route the schemes differently — cover all three
+        for scheme in ("cgs2_1r", "cholqr2", "sketched"):
+            add(Config("bgmres", p=3, ortho=scheme))
+            add(Config("gcrodr", p=3, ortho=scheme))
+            add(Config("gmresdr", p=1, ortho=scheme))
         return configs
 
     for method, caps in SOLVERS.items():
@@ -112,6 +123,13 @@ def conformance_matrix(full: bool = False) -> list[Config]:
     for method in SOLVERS:
         p = 3 if SOLVERS[method]["block"] else 1
         add(Config(method, p=p, precond=False))
+    # orthogonalization-scheme sweep: every solver x every non-default
+    # scheme, both exec modes, default axes elsewhere
+    for method in SOLVERS:
+        p = 3 if SOLVERS[method]["block"] else 1
+        for scheme in ("mgs", "imgs", "cgs2_1r", "cholqr2", "sketched"):
+            add(Config(method, p=p, ortho=scheme))
+            add(Config(method, p=p, ortho=scheme, exec_mode="per_rank"))
     return configs
 
 
