@@ -1,0 +1,236 @@
+#!/usr/bin/env python
+"""Bench-trajectory regression gate.
+
+Re-runs the two quick perf benches (``bench_micro_kernels --quick``,
+``bench_service --quick``), reduces them to a small set of named metrics,
+compares against the most recent same-config entry of
+``benchmarks/results/BENCH_trajectory.json`` (bootstrapping from the
+checked-in full-config ``BENCH_*.json`` gates when the trajectory is
+empty), exits nonzero on regression, and appends a dated entry so the
+trajectory grows one point per CI run.
+
+Metric kinds and their tolerances:
+
+* ``ratio`` — wall-clock-derived speedups (fused over per-rank at
+  nranks=64, CGS2-1R over MGS, ...).  Noisy run-to-run, so the gate only
+  requires ``current >= previous / RATIO_TOLERANCE`` (default 1.6x): a
+  genuine 2x slowdown is caught, scheduler jitter is not.
+* ``modeled`` — derived from ledger counts through the performance model
+  (service amortized speedup).  Deterministic for a fixed config; compared
+  to 1e-6 relative.
+* ``exact`` — integer invariants (reductions per orthogonalization step,
+  setup builds per coalesced batch).  Compared exactly.
+
+``--self-test`` injects a synthetic 2x slowdown into the current metrics
+and verifies the comparison logic rejects it (the gate that gates the
+gate).
+
+    PYTHONPATH=src python scripts/bench_compare.py [--self-test] ...
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS = os.path.join(ROOT, "benchmarks", "results")
+TRAJECTORY = os.path.join(RESULTS, "BENCH_trajectory.json")
+
+RATIO_TOLERANCE = 1.6
+MODELED_RTOL = 1e-6
+
+#: kernels whose fused-over-per-rank speedup at nranks=64 is tracked
+TRACKED_KERNELS = ("spmm", "col_dots", "cholqr")
+
+
+def run_quick_benches(tmpdir: str) -> tuple[dict, dict]:
+    """Run both quick benches with ``--check`` and return their JSON."""
+    out = {}
+    for script, name in (("bench_micro_kernels.py", "kernels"),
+                         ("bench_service.py", "service")):
+        path = os.path.join(tmpdir, f"{name}.json")
+        cmd = [sys.executable, os.path.join(ROOT, "benchmarks", script),
+               "--quick", "--check", "--out", path]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(ROOT, "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout + proc.stderr)
+            raise SystemExit(f"bench_compare: {script} --check failed "
+                             f"(exit {proc.returncode})")
+        with open(path, encoding="utf-8") as fh:
+            out[name] = json.load(fh)
+    return out["kernels"], out["service"]
+
+
+def extract_metrics(kernels: dict, service: dict) -> dict[str, dict]:
+    """Reduce raw bench JSON to ``{metric: {value, kind}}``."""
+    m: dict[str, dict] = {}
+    speed = kernels["speedup_fused_over_per_rank"]
+    for kern in TRACKED_KERNELS:
+        m[f"kernel_speedup64_{kern}"] = {
+            "value": float(speed[kern]["64"]), "kind": "ratio"}
+    schemes = kernels["orthogonalization"]["schemes"]
+    m["ortho_cgs2_1r_reductions_per_step"] = {
+        "value": int(schemes["cgs2_1r"]["reductions_per_step_max"]),
+        "kind": "exact"}
+    m["ortho_cgs2_1r_speedup_over_mgs"] = {
+        "value": float(schemes["cgs2_1r"]["speedup_over_mgs"]),
+        "kind": "ratio"}
+    level = kernels["level_schedule"]["speedup_frontier_over_reference"]
+    m["triangular_block_diag_speedup"] = {
+        "value": float(level["block_diag"]), "kind": "ratio"}
+    m["service_amortized_speedup"] = {
+        "value": float(service["amortized_speedup"]), "kind": "modeled"}
+    m["service_setup_builds_coalesced"] = {
+        "value": int(service["coalesced"]["setup_builds"]), "kind": "exact"}
+    return m
+
+
+def compare(current: dict[str, dict], baseline: dict[str, dict],
+            *, label: str) -> list[str]:
+    """Return a list of regression messages (empty = pass)."""
+    failures = []
+    for name, cur in sorted(current.items()):
+        if name not in baseline:
+            continue  # metric added after the baseline entry
+        base_v, cur_v = baseline[name]["value"], cur["value"]
+        kind = cur["kind"]
+        if kind == "ratio":
+            floor = base_v / RATIO_TOLERANCE
+            if cur_v < floor:
+                failures.append(
+                    f"{name}: {cur_v:.3f} < {floor:.3f} "
+                    f"(= {label} {base_v:.3f} / {RATIO_TOLERANCE}x tolerance)")
+        elif kind == "modeled":
+            if abs(cur_v - base_v) > MODELED_RTOL * max(abs(base_v), 1.0):
+                failures.append(
+                    f"{name}: {cur_v!r} != {label} {base_v!r} "
+                    f"(modeled metric must be deterministic)")
+        elif kind == "exact":
+            if cur_v != base_v:
+                failures.append(f"{name}: {cur_v!r} != {label} {base_v!r}")
+        else:  # pragma: no cover - metric table is static
+            failures.append(f"{name}: unknown kind {kind!r}")
+    return failures
+
+
+def bootstrap_floors(current: dict[str, dict]) -> list[str]:
+    """First run ever: check the config-independent absolute gates that the
+    full-config ``BENCH_*.json`` baselines also enforce."""
+    failures = []
+    if current["ortho_cgs2_1r_reductions_per_step"]["value"] != 2:
+        failures.append("ortho_cgs2_1r_reductions_per_step != 2")
+    if current["ortho_cgs2_1r_speedup_over_mgs"]["value"] < 1.5:
+        failures.append("ortho_cgs2_1r_speedup_over_mgs < 1.5")
+    if current["service_amortized_speedup"]["value"] < 2.0:
+        failures.append("service_amortized_speedup < 2.0")
+    if current["service_setup_builds_coalesced"]["value"] != 1:
+        failures.append("service_setup_builds_coalesced != 1")
+    for kern in TRACKED_KERNELS:
+        if current[f"kernel_speedup64_{kern}"]["value"] < 1.0:
+            failures.append(f"kernel_speedup64_{kern} < 1.0 "
+                            f"(fused slower than per-rank oracle)")
+    return failures
+
+
+def load_trajectory() -> list[dict]:
+    if not os.path.exists(TRAJECTORY):
+        return []
+    with open(TRAJECTORY, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def self_test(current: dict[str, dict]) -> int:
+    """Inject a 2x slowdown and require the comparator to catch it."""
+    degraded = json.loads(json.dumps(current))
+    for name, entry in degraded.items():
+        if entry["kind"] == "ratio":
+            entry["value"] /= 2.0          # fused path got 2x slower
+        elif entry["kind"] == "modeled":
+            entry["value"] /= 2.0          # coalescing stopped amortizing
+    failures = compare(degraded, current, label="pre-slowdown")
+    ratio_hits = [f for f in failures if "tolerance" in f]
+    if not ratio_hits:
+        print("bench_compare --self-test: injected 2x slowdown was NOT "
+              "caught", file=sys.stderr)
+        return 1
+    print(f"bench_compare --self-test: injected 2x slowdown caught "
+          f"({len(failures)} metric(s) flagged):")
+    for f in failures:
+        print(f"  {f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--current-kernels", type=str, default=None,
+                    help="reuse an existing quick bench_micro_kernels JSON "
+                         "instead of re-running")
+    ap.add_argument("--current-service", type=str, default=None,
+                    help="reuse an existing quick bench_service JSON")
+    ap.add_argument("--no-append", action="store_true",
+                    help="compare only; do not extend the trajectory")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify an injected 2x slowdown is caught, then exit")
+    ns = ap.parse_args(argv)
+
+    if ns.current_kernels and ns.current_service:
+        with open(ns.current_kernels, encoding="utf-8") as fh:
+            kernels = json.load(fh)
+        with open(ns.current_service, encoding="utf-8") as fh:
+            service = json.load(fh)
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            kernels, service = run_quick_benches(tmp)
+    current = extract_metrics(kernels, service)
+
+    if ns.self_test:
+        return self_test(current)
+
+    trajectory = load_trajectory()
+    same_config = [e for e in trajectory if e.get("config") == "quick"]
+    if same_config:
+        baseline = same_config[-1]["metrics"]
+        failures = compare(current, baseline,
+                           label=f"trajectory[{same_config[-1]['date']}]")
+        mode = f"vs trajectory entry {same_config[-1]['date']}"
+    else:
+        failures = bootstrap_floors(current)
+        mode = "bootstrap (absolute floors; trajectory was empty)"
+
+    print(f"bench_compare: {mode}")
+    for name, entry in sorted(current.items()):
+        print(f"  {name:<38} {entry['value']:>12.4f}  [{entry['kind']}]")
+    if failures:
+        print(f"\nbench_compare: {len(failures)} regression(s):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+
+    if not ns.no_append:
+        trajectory.append({
+            "date": time.strftime("%Y-%m-%d"),
+            "config": "quick",
+            "metrics": current,
+            "compared_against": mode,
+        })
+        with open(TRAJECTORY, "w", encoding="utf-8") as fh:
+            json.dump(trajectory, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"bench_compare: appended entry #{len(trajectory)} to "
+              f"{os.path.relpath(TRAJECTORY, ROOT)}")
+    print("bench_compare: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

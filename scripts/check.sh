@@ -1,45 +1,11 @@
 #!/usr/bin/env bash
-# Repo check: tier-1 tests + slow matrix + coverage floor + perf gate.
+# Thin wrapper around the staged CI runner — see scripts/ci.py for the
+# stage table.  Kept so existing entry points and docs stay valid.
 #
-#   ./scripts/check.sh            # everything
-#   ./scripts/check.sh --fast     # tier-1 + perf gate only
-#
-# Fails if any test fails, if statement coverage of src/repro/krylov/
-# or src/repro/service/ drops below the floors in
-# scripts/coverage_floor.py, if the fused execution engine is slower
-# than the per-rank oracle at nranks=64 (bench_micro_kernels --quick
-# --check), if the low-sync orthogonalization engine misses its budget
-# (cgs2_1r: <= 2 reductions/step and >= 1.5x over mgs on the 40-block
-# p=8 basis at equal orthogonality; same --quick --check run), or if
-# coalesced service solves are less than 2x cheaper per request than
-# sequential ones (bench_service --quick --check).
+#   ./scripts/check.sh            # every stage
+#   ./scripts/check.sh --fast     # lint + tier1 + perf/trace/determinism gates
+#   ./scripts/check.sh --stage X  # any ci.py stage selection
 set -euo pipefail
 cd "$(dirname "$0")/.."
-
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
-fast=0
-[[ "${1:-}" == "--fast" ]] && fast=1
-
-echo "== tier-1 tests =="
-python -m pytest -x -q
-
-if [[ $fast -eq 0 ]]; then
-  echo
-  echo "== slow tier: full conformance matrix =="
-  python -m pytest -x -q -m slow
-
-  echo
-  echo "== coverage floors: src/repro/krylov/, src/repro/service/ =="
-  python scripts/coverage_floor.py
-fi
-
-echo
-echo "== perf gate: fused vs per-rank microkernels =="
-python benchmarks/bench_micro_kernels.py --quick --check
-
-echo
-echo "== perf gate: solve service coalescing + setup cache =="
-python benchmarks/bench_service.py --quick --check
-
-echo
-echo "all checks passed"
+exec python scripts/ci.py "$@"

@@ -1,0 +1,263 @@
+#!/usr/bin/env python
+"""Staged CI runner — the single entry point behind ``scripts/check.sh``.
+
+Stages, in order:
+
+==============  ====================================================  ======
+name            what runs                                             --fast
+==============  ====================================================  ======
+lint            ``scripts/lint_repro.py`` (determinism lint)          yes
+tier1           ``pytest -x -q`` (the tier-1 suite)                   yes
+slow            ``pytest -x -q -m slow`` (full conformance matrix)    no
+coverage        ``scripts/coverage_floor.py``                         no
+perf-gates      quick microkernel + service benches with ``--check``  yes
+                then ``scripts/bench_compare.py`` on their output
+                (regression vs the bench trajectory, which it extends)
+trace-gate      ``repro.trace.gate.run_gate()`` — reduction shapes    yes
+                from exported spans, both exec modes
+determinism     byte-identical chrome traces across repeated solves,  yes
+                fused == per_rank ledger counts, order-stable
+                ``CostLedger.split``
+==============  ====================================================  ======
+
+Each stage reports wall seconds; in-process stages that solve under a
+ledger (trace-gate, determinism) also report *modeled* seconds from
+``perfmodel`` at nranks=64.  A machine-readable ``ci_summary.json`` is
+written next to the repo root after every run, pass or fail.
+
+    PYTHONPATH=src python scripts/ci.py            # everything
+    PYTHONPATH=src python scripts/ci.py --fast     # skip slow + coverage
+    PYTHONPATH=src python scripts/ci.py --stage lint --stage trace-gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SUMMARY = os.path.join(ROOT, "ci_summary.json")
+FAST_STAGES = ("lint", "tier1", "perf-gates", "trace-gate", "determinism")
+ALL_STAGES = ("lint", "tier1", "slow", "coverage", "perf-gates",
+              "trace-gate", "determinism")
+
+
+def _env() -> dict[str, str]:
+    env = dict(os.environ)
+    src = os.path.join(ROOT, "src")
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
+                               if env.get("PYTHONPATH") else "")
+    return env
+
+
+def _run(cmd: list[str]) -> dict:
+    """Run a subprocess stage; stream output through."""
+    proc = subprocess.run(cmd, env=_env(), cwd=ROOT)
+    return {"ok": proc.returncode == 0, "exit": proc.returncode,
+            "command": " ".join(os.path.relpath(c, ROOT)
+                                if os.path.isabs(c) else c for c in cmd)}
+
+
+# ----------------------------------------------------------------------
+def stage_lint() -> dict:
+    return _run([sys.executable, os.path.join(ROOT, "scripts",
+                                              "lint_repro.py")])
+
+
+def stage_tier1() -> dict:
+    return _run([sys.executable, "-m", "pytest", "-x", "-q"])
+
+
+def stage_slow() -> dict:
+    return _run([sys.executable, "-m", "pytest", "-x", "-q", "-m", "slow"])
+
+
+def stage_coverage() -> dict:
+    return _run([sys.executable, os.path.join(ROOT, "scripts",
+                                              "coverage_floor.py")])
+
+
+def stage_perf_gates() -> dict:
+    """Quick benches with their built-in ``--check`` gates, then the
+    trajectory comparison reusing the same JSON (no double bench runs)."""
+    with tempfile.TemporaryDirectory() as tmp:
+        k_json = os.path.join(tmp, "kernels.json")
+        s_json = os.path.join(tmp, "service.json")
+        for script, out in (("bench_micro_kernels.py", k_json),
+                            ("bench_service.py", s_json)):
+            res = _run([sys.executable,
+                        os.path.join(ROOT, "benchmarks", script),
+                        "--quick", "--check", "--out", out])
+            if not res["ok"]:
+                return res
+        res = _run([sys.executable,
+                    os.path.join(ROOT, "scripts", "bench_compare.py"),
+                    "--self-test", "--current-kernels", k_json,
+                    "--current-service", s_json])
+        if not res["ok"]:
+            return res
+        return _run([sys.executable,
+                     os.path.join(ROOT, "scripts", "bench_compare.py"),
+                     "--current-kernels", k_json,
+                     "--current-service", s_json])
+
+
+def _modeled_seconds(led) -> float:
+    from repro.perfmodel import modeled_time
+    return modeled_time(led, 64).total
+
+
+def stage_trace_gate() -> dict:
+    from repro.trace.gate import GateError, run_gate
+    from repro.util import ledger
+    outer = ledger.CostLedger()
+    try:
+        with ledger.install(outer):
+            report = run_gate()
+    except GateError as exc:
+        print(f"trace-gate FAILED: {exc}", file=sys.stderr)
+        return {"ok": False, "error": str(exc)}
+    shapes = report["reductions_per_cycle"]
+    print(f"trace-gate: gmres {shapes['gmres']} reductions/cycle, "
+          f"gcrodr {shapes['gcrodr']} = 2(m-k); cgs2_1r <= 2/step; "
+          f"attribution conserved in both exec modes")
+    return {"ok": True, "report": report,
+            "modeled_seconds": _modeled_seconds(outer)}
+
+
+def stage_determinism() -> dict:
+    """Same inputs => byte-identical exports and bit-identical counts."""
+    import numpy as np
+    import scipy.sparse as sp
+
+    from repro import api
+    from repro.trace import chrome_trace_json, counts_signature
+    from repro.trace.tracer import Tracer, install
+    from repro.util import ledger
+    from repro.util.ledger import CostLedger, Kernel
+    from repro.util.options import Options
+
+    rs = np.random.RandomState(99)
+    a = sp.random(300, 300, density=0.02, random_state=rs, format="csr")
+    a = a + sp.eye(300, format="csr") * 4.0
+    b = np.random.default_rng(99).standard_normal(300)
+    outer = CostLedger()
+
+    def traced_solve(mode: str) -> tuple[tuple, str]:
+        opts = Options(krylov_method="gcrodr", recycle=5, tol=1e-10,
+                       exec_mode=mode, trace="summary")
+        tr = Tracer(level="summary")
+        led = CostLedger()
+        with install(tr), ledger.install(led):
+            api.solve(a, b, options=opts)
+        outer.merge(led)
+        return counts_signature(led), chrome_trace_json(tr)
+
+    sig1, trace1 = traced_solve("fused")
+    sig2, trace2 = traced_solve("fused")
+    sig3, trace3 = traced_solve("per_rank")
+    if trace1 != trace2:
+        return {"ok": False, "error": "chrome trace differs between "
+                                      "identical fused runs"}
+    if sig1 != sig2:
+        return {"ok": False, "error": "ledger counts differ between "
+                                      "identical fused runs"}
+    if sig1 != sig3:
+        return {"ok": False, "error": "fused and per_rank ledger counts "
+                                      "diverge"}
+    if trace1 != trace3:
+        return {"ok": False, "error": "fused and per_rank chrome traces "
+                                      "diverge (modeled times must match)"}
+
+    # CostLedger.split share-rounding must be order-stable
+    led = CostLedger()
+    led.reduction(nbytes=123, count=7)
+    led.p2p(messages=5, nbytes=77)
+    for kern in (Kernel.SPMV, Kernel.BLAS3, Kernel.QR):
+        led.flop(kern, 1e7 / 3)
+    for name in ("alpha", "beta", "gamma"):
+        led.event(name, 11)
+    shares = [led.split(3) for _ in range(5)]
+    first = [tuple(s.counts()[:4]) + (tuple(sorted(s.flops.items())),
+                                      tuple(sorted(s.calls.items())))
+             for s in shares[0]]
+    for rep in shares[1:]:
+        again = [tuple(s.counts()[:4]) + (tuple(sorted(s.flops.items())),
+                                          tuple(sorted(s.calls.items())))
+                 for s in rep]
+        if again != first:
+            return {"ok": False,
+                    "error": "CostLedger.split is not order-stable"}
+    print("determinism: repeated solves byte-identical, fused == per_rank, "
+          "split order-stable")
+    return {"ok": True, "modeled_seconds": _modeled_seconds(outer)}
+
+
+STAGES = {
+    "lint": stage_lint,
+    "tier1": stage_tier1,
+    "slow": stage_slow,
+    "coverage": stage_coverage,
+    "perf-gates": stage_perf_gates,
+    "trace-gate": stage_trace_gate,
+    "determinism": stage_determinism,
+}
+assert tuple(STAGES) == ALL_STAGES
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--fast", action="store_true",
+                    help=f"run only {', '.join(FAST_STAGES)}")
+    ap.add_argument("--stage", action="append", choices=ALL_STAGES,
+                    help="run only the named stage(s); repeatable")
+    ns = ap.parse_args(argv)
+
+    if ns.stage:
+        selected = [s for s in ALL_STAGES if s in set(ns.stage)]
+    elif ns.fast:
+        selected = list(FAST_STAGES)
+    else:
+        selected = list(ALL_STAGES)
+
+    src = os.path.join(ROOT, "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+
+    summary = {"selected": selected, "stages": [], "passed": True}
+    for name in selected:
+        print(f"\n== stage: {name} ==")
+        t0 = time.perf_counter()
+        try:
+            result = STAGES[name]()
+        except Exception as exc:  # a stage crashing is a stage failing
+            result = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        wall = time.perf_counter() - t0
+        entry = {"name": name, "ok": bool(result.pop("ok")),
+                 "wall_seconds": round(wall, 3),
+                 "modeled_seconds": result.pop("modeled_seconds", None)}
+        entry.update({k: v for k, v in result.items() if k != "report"})
+        summary["stages"].append(entry)
+        status = "ok" if entry["ok"] else "FAILED"
+        modeled = (f", modeled {entry['modeled_seconds']:.3e}s"
+                   if entry["modeled_seconds"] is not None else "")
+        print(f"-- {name}: {status} ({wall:.1f}s wall{modeled})")
+        if not entry["ok"]:
+            summary["passed"] = False
+            break  # fail fast; later stages assume earlier ones held
+
+    with open(SUMMARY, "w", encoding="utf-8") as fh:
+        json.dump(summary, fh, indent=1)
+        fh.write("\n")
+    print(f"\nci: {'all stages passed' if summary['passed'] else 'FAILED'}"
+          f" — summary in {os.path.relpath(SUMMARY, ROOT)}")
+    return 0 if summary["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

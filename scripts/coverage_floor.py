@@ -29,6 +29,7 @@ ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 FLOORS = {
     os.path.join("src", "repro", "krylov"): 90.0,
     os.path.join("src", "repro", "service"): 85.0,
+    os.path.join("src", "repro", "trace"): 85.0,
 }
 
 TARGETS = {os.path.join(ROOT, rel) + os.sep: floor

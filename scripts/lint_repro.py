@@ -1,0 +1,219 @@
+#!/usr/bin/env python
+"""Repo-specific determinism lint — stdlib ``ast`` only, no new deps.
+
+Three rule families, each guarding an invariant the test suite and the
+trace/bench gates rely on:
+
+``unseeded-random``
+    ``np.random.<legacy>`` global-state draws, or ``default_rng()`` /
+    ``RandomState()`` called without a seed.  Everything stochastic must
+    flow from an explicit seed (tests get theirs from ``conftest``'s
+    ``make_rng``/``rng`` fixture) or runs stop being reproducible.
+
+``wall-clock``
+    ``time.time`` / ``perf_counter`` / ``monotonic`` / ``datetime.now``
+    and friends outside ``src/repro/util/ledger.py`` (the single
+    sanctioned clock reader — see the "Determinism invariant" note on
+    :class:`CostLedger`), ``benchmarks/`` and ``scripts/``.  Wall clock
+    in library code breaks determinism and makes trace replay
+    meaningless, since every exported span time is *modeled*.
+
+``distla-ledger``
+    functions in ``src/repro/distla/`` that perform array math
+    (``@``, ``np.dot``, ``np.einsum``, ``scipy`` spmv, ...) without any
+    ledger charge in the same function.  Distributed-array ops are the
+    costs the paper counts; silent ones undermine every gate downstream.
+
+False positives go in ``scripts/lint_allowlist.txt`` as
+``<relpath>:<rule>`` (one per line, ``#`` comments allowed); a
+``# lint: allow(<rule>)`` comment on the offending line also works.
+
+    PYTHONPATH=src python scripts/lint_repro.py [paths...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+ALLOWLIST = os.path.join(ROOT, "scripts", "lint_allowlist.txt")
+
+#: legacy numpy global-RNG entry points (always unseeded by construction)
+LEGACY_RANDOM = {
+    "rand", "randn", "random", "randint", "random_sample", "standard_normal",
+    "uniform", "normal", "choice", "permutation", "shuffle", "seed",
+}
+#: wall-clock callables as (module, attr)
+CLOCK_CALLS = {
+    ("time", "time"), ("time", "perf_counter"), ("time", "monotonic"),
+    ("time", "process_time"), ("time", "time_ns"),
+    ("time", "perf_counter_ns"), ("time", "monotonic_ns"),
+    ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
+}
+#: ledger-charging attribute names that mark a distla op as accounted
+CHARGE_ATTRS = {"flop", "reduction", "p2p", "event", "charge", "merge"}
+#: simmpi collectives that charge the ledger internally
+CHARGING_COLLECTIVES = {"allreduce_sum", "allgather_rows", "dot_columns",
+                        "norm_columns"}
+#: array-math markers in distla code
+MATH_CALLS = {"dot", "einsum", "matmul", "vdot", "tensordot"}
+
+SCANNED_DIRS = ("src", "tests", "benchmarks")
+CLOCK_EXEMPT = (os.path.join("src", "repro", "util", "ledger.py"),)
+CLOCK_EXEMPT_DIRS = ("benchmarks" + os.sep, "scripts" + os.sep)
+
+
+def _dotted(node: ast.AST) -> str:
+    """Best-effort dotted name of an attribute/name chain."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, rel: str, source_lines: list[str]):
+        self.rel = rel
+        self.lines = source_lines
+        self.findings: list[tuple[str, int, str]] = []
+        self.in_distla = os.path.join("src", "repro", "distla") in rel
+
+    # -- helpers -------------------------------------------------------
+    def _flag(self, rule: str, node: ast.AST, msg: str) -> None:
+        line = self.lines[node.lineno - 1] if node.lineno <= len(self.lines) else ""
+        if f"lint: allow({rule})" in line:
+            return
+        self.findings.append((rule, node.lineno, msg))
+
+    # -- unseeded-random ----------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _dotted(node.func)
+        tail = name.rsplit(".", 1)[-1]
+        if name.endswith(".random." + tail) and tail in LEGACY_RANDOM \
+                and (".random." in name or name.startswith("random.")):
+            mod = name.split(".")[0]
+            if mod in ("np", "numpy"):
+                self._flag("unseeded-random", node,
+                           f"legacy global-RNG call {name}() — pass an "
+                           f"explicit Generator (conftest make_rng) instead")
+        if tail in ("default_rng", "RandomState") and not node.args \
+                and not node.keywords:
+            self._flag("unseeded-random", node,
+                       f"{name}() without a seed — every RNG must be "
+                       f"explicitly seeded")
+        if (name.split(".")[0] in ("time", "datetime", "dt")
+                and (name.split(".")[0], tail) in CLOCK_CALLS) \
+                or name in ("datetime.datetime.now", "datetime.datetime.utcnow"):
+            if not self._clock_allowed():
+                self._flag("wall-clock", node,
+                           f"{name}() outside util/ledger.py — wall clock "
+                           f"breaks determinism and trace replay")
+        self.generic_visit(node)
+
+    def _clock_allowed(self) -> bool:
+        if self.rel in CLOCK_EXEMPT:
+            return True
+        return any(self.rel.startswith(d) for d in CLOCK_EXEMPT_DIRS)
+
+    # -- distla-ledger -------------------------------------------------
+    def _function_math_nodes(self, fn: ast.AST) -> list[ast.AST]:
+        out = []
+        for sub in ast.walk(fn):
+            if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.MatMult):
+                out.append(sub)
+            elif isinstance(sub, ast.Call):
+                tail = _dotted(sub.func).rsplit(".", 1)[-1]
+                if tail in MATH_CALLS:
+                    out.append(sub)
+        return out
+
+    def _function_charges(self, fn: ast.AST) -> bool:
+        for sub in ast.walk(fn):
+            if isinstance(sub, ast.Call):
+                name = _dotted(sub.func)
+                tail = name.rsplit(".", 1)[-1]
+                if tail in CHARGE_ATTRS or tail in CHARGING_COLLECTIVES \
+                        or name.endswith("ledger.current"):
+                    return True
+        return False
+
+    def _visit_function(self, node) -> None:
+        if self.in_distla:
+            math_nodes = self._function_math_nodes(node)
+            if math_nodes and not self._function_charges(node):
+                self._flag("distla-ledger", math_nodes[0],
+                           f"function {node.name!r} does array math but "
+                           f"never charges the cost ledger")
+        self.generic_visit(node)
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+
+def _load_allowlist() -> set[tuple[str, str]]:
+    entries: set[tuple[str, str]] = set()
+    if not os.path.exists(ALLOWLIST):
+        return entries
+    with open(ALLOWLIST, encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            path, _, rule = line.rpartition(":")
+            entries.add((path.strip(), rule.strip()))
+    return entries
+
+
+def lint_file(path: str) -> list[tuple[str, int, str]]:
+    rel = os.path.relpath(path, ROOT)
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:  # pragma: no cover - repo code always parses
+        return [("syntax", exc.lineno or 0, str(exc))]
+    visitor = _Visitor(rel, source.splitlines())
+    visitor.visit(tree)
+    return visitor.findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*",
+                    help=f"files/dirs to lint (default: {SCANNED_DIRS})")
+    ns = ap.parse_args(argv)
+
+    targets = ns.paths or [os.path.join(ROOT, d) for d in SCANNED_DIRS]
+    files: list[str] = []
+    for target in targets:
+        if os.path.isfile(target):
+            files.append(target)
+            continue
+        for dirpath, _, names in os.walk(target):
+            files.extend(os.path.join(dirpath, n)
+                         for n in sorted(names) if n.endswith(".py"))
+
+    allow = _load_allowlist()
+    total = 0
+    for path in sorted(files):
+        rel = os.path.relpath(path, ROOT)
+        for rule, lineno, msg in lint_file(path):
+            if (rel, rule) in allow:
+                continue
+            print(f"{rel}:{lineno}: [{rule}] {msg}")
+            total += 1
+    if total:
+        print(f"\nlint_repro: {total} finding(s)", file=sys.stderr)
+        return 1
+    print(f"lint_repro: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@ Two levels of convenience:
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from typing import Any
 
 import numpy as np
@@ -28,10 +29,11 @@ from .krylov.pgcrodr import PseudoBlockRecycle, pgcrodr
 from .krylov.recycling import RecycledSubspace
 from .service.cache import SetupCache
 from .service.fingerprint import operator_fingerprint
+from .util import ledger
 from .util.execmode import use_exec_mode
 from .util.misc import as_block
 from .util.options import Options
-from . import verify
+from . import trace, verify
 
 __all__ = ["solve", "Solver"]
 
@@ -58,6 +60,40 @@ def solve(a, b, m=None, *, options: Options | None = None,
     True
     """
     options = options or Options()
+    tracer = trace.tracer_for(options)
+    if not tracer.enabled:
+        # trace=off default: no spans, no extra info keys, no extra ledger —
+        # counts() and info stay byte-identical to the untraced behavior
+        return _solve_checked(a, b, m, options=options, x0=x0,
+                              recycle=recycle, same_system=same_system)
+    with ExitStack() as stack:
+        if ledger.current().is_null:
+            # spans diff the ambient ledger; give them a real one so the
+            # trace carries counts even when the caller installed none
+            stack.enter_context(ledger.install())
+        stack.enter_context(trace.install(tracer))
+        with tracer.span("solve", method=options.krylov_method,
+                         variant=options.variant) as root:
+            res = _solve_checked(a, b, m, options=options, x0=x0,
+                                 recycle=recycle, same_system=same_system)
+    tracer.metrics.counter("solve_total").inc(method=options.krylov_method)
+    tracer.metrics.histogram("solve_iterations").observe(
+        res.iterations, method=options.krylov_method)
+    for cyc in root.find("cycle"):
+        if cyc.cost is not None:
+            tracer.metrics.histogram("reductions_per_cycle").observe(
+                cyc.cost.reductions, method=options.krylov_method)
+    res.info["trace"] = {
+        "level": tracer.level,
+        "span": root.to_dict(),
+        "summary": tracer.summary(),
+    }
+    return res
+
+
+def _solve_checked(a, b, m, *, options: Options, x0, recycle,
+                   same_system) -> SolveResult:
+    """The verify-wrapped dispatch body shared by both trace paths."""
     if options.verify != "off":
         chk = verify.InvariantChecker(options.verify,
                                       context=options.krylov_method)

@@ -24,6 +24,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from ..trace import tracer as trace
 from ..util import ledger
 from ..util.ledger import CostLedger, Kernel
 from ..util.misc import as_block
@@ -64,10 +65,14 @@ class SparseLU:
         # records exactly what this factorization charged — the quantity a
         # setup cache amortizes (charged once per operator, not per solve)
         led = CostLedger()
-        with ledger.install(led):
-            self._factorize(a, engine, ordering)
-        self.setup_cost = led
-        ledger.current().merge(led)
+        # the span is opened against the *ambient* ledger, so its window
+        # sees the merged total; work inside runs under the private ledger
+        # and is therefore excluded from any enclosing span's exclusive cost
+        with trace.current().span("setup.lu", engine=engine, n=self.n):
+            with ledger.install(led):
+                self._factorize(a, engine, ordering)
+            self.setup_cost = led
+            ledger.current().merge(led)
 
     def _factorize(self, a: sp.spmatrix, engine: str, ordering: str) -> None:
         led = ledger.current()

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..la.orthogonalization import qr_factorization
+from ..trace import tracer as trace
 from ..util import ledger
 from ..util.ledger import Kernel
 from ..util.misc import as_block, column_norms
@@ -64,6 +65,7 @@ def bgmres(a, b, m=None, *, options: Options | None = None,
 
     restart = min(options.gmres_restart, max(n // p, 1))
     led = ledger.current()
+    tr = trace.current()
     chk = checker_for(options, context="bgmres")
     total_it = 0
     cycles = 0
@@ -85,20 +87,22 @@ def bgmres(a, b, m=None, *, options: Options | None = None,
                 led.event("block_reduction")
             else:
                 v1 = complete_block(v1, rank)
-        state = block_arnoldi_cycle(
-            op_apply, inner_m, v1, s1,
-            max_steps=restart, ortho=options.orthogonalization,
-            qr_scheme=options.qr, deflation_tol=options.deflation_tol,
-            targets=targets, history=history, identity_m=identity_m,
-            iteration_budget=options.max_it - total_it)
+        with tr.span("cycle", index=cycles - 1, kind="bgmres"):
+            state = block_arnoldi_cycle(
+                op_apply, inner_m, v1, s1,
+                max_steps=restart, ortho=options.orthogonalization,
+                qr_scheme=options.qr, deflation_tol=options.deflation_tol,
+                targets=targets, history=history, identity_m=identity_m,
+                iteration_budget=options.max_it - total_it)
         total_it += state.steps
         breakdown_seen |= state.breakdown
         if state.steps == 0:
             break
-        y = state.hqr.solve()
-        z = state.z_stack(state.steps)
-        x += z @ y
-        led.flop(Kernel.BLAS3, 2.0 * n * z.shape[1] * p)
+        with tr.span("least_squares"):
+            y = state.hqr.solve()
+            z = state.z_stack(state.steps)
+            x += z @ y
+            led.flop(Kernel.BLAS3, 2.0 * n * z.shape[1] * p)
         if chk.wants_full and not state.breakdown:
             vst = state.v_stack()
             chk.check_orthonormality(vst, what="block-Arnoldi basis")

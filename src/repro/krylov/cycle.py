@@ -16,6 +16,7 @@ import numpy as np
 from ..la.blockqr import BlockHessenbergQR
 from ..la.orthogonalization import (LOW_SYNC_SCHEMES, make_arnoldi_engine,
                                     project_out, qr_factorization)
+from ..trace import tracer as trace
 from ..util import ledger
 from ..util.misc import column_norms, default_rng
 from .base import ConvergenceHistory
@@ -119,6 +120,7 @@ def block_arnoldi_cycle(op_apply, inner_m, v1: np.ndarray, s1: np.ndarray, *,
     dtype = v1.dtype
     p = v1.shape[1]
     led = ledger.current()
+    tr = trace.current()
 
     # Low-synchronization schemes run through the fused Arnoldi engine: the
     # C_k projection, all basis projections, and the normalizer Gram travel
@@ -152,29 +154,35 @@ def block_arnoldi_cycle(op_apply, inner_m, v1: np.ndarray, s1: np.ndarray, *,
         steps = min(steps, max(iteration_budget, 0))
 
     for j in range(steps):
-        vj = state.v_blocks[j]
-        zj = vj if identity_m else np.asarray(inner_m(vj)).astype(dtype, copy=False)
-        state.z_blocks.append(zj)
-        w = op_apply(zj)
-        if engine is not None:
-            q, h, s, rank, e_col = engine.step(state.v_blocks, w, ck=ck)
-            if ck is not None and ck.shape[1]:
-                state.e_cols.append(e_col)
-        else:
-            if ck is not None and ck.shape[1]:
-                w, e_col = project_out(ck, w, scheme="cgs")
-                state.e_cols.append(e_col)
-            scale = float(np.max(column_norms(w), initial=0.0))
-            basis = np.concatenate(state.v_blocks, axis=1)
-            w2, h = project_out(basis, w, scheme=ortho)
-            if qr_scheme in ("cholqr", "cholqr_rr"):
-                q, s, rank = qr_factorization(w2, qr_scheme, tol=deflation_tol,
-                                              scale=scale)
-            else:
-                q, s, rank = qr_factorization(w2, qr_scheme, tol=deflation_tol)
-        h_col = np.concatenate([h, s], axis=0)
-        res = hqr.add_column(h_col)
-        state.steps = j + 1
+        with tr.span("arnoldi_step", j=j):
+            vj = state.v_blocks[j]
+            zj = vj if identity_m else \
+                np.asarray(inner_m(vj)).astype(dtype, copy=False)
+            state.z_blocks.append(zj)
+            w = op_apply(zj)
+            with tr.span("ortho", scheme=ortho):
+                if engine is not None:
+                    q, h, s, rank, e_col = engine.step(state.v_blocks, w,
+                                                       ck=ck)
+                    if ck is not None and ck.shape[1]:
+                        state.e_cols.append(e_col)
+                else:
+                    if ck is not None and ck.shape[1]:
+                        w, e_col = project_out(ck, w, scheme="cgs")
+                        state.e_cols.append(e_col)
+                    scale = float(np.max(column_norms(w), initial=0.0))
+                    basis = np.concatenate(state.v_blocks, axis=1)
+                    w2, h = project_out(basis, w, scheme=ortho)
+                    if qr_scheme in ("cholqr", "cholqr_rr"):
+                        q, s, rank = qr_factorization(w2, qr_scheme,
+                                                      tol=deflation_tol,
+                                                      scale=scale)
+                    else:
+                        q, s, rank = qr_factorization(w2, qr_scheme,
+                                                      tol=deflation_tol)
+            h_col = np.concatenate([h, s], axis=0)
+            res = hqr.add_column(h_col)
+            state.steps = j + 1
         if history is not None:
             history.append(res)
         led.event("arnoldi_step")

@@ -31,6 +31,7 @@ import scipy.linalg as sla
 from ..la.orthogonalization import (LOW_SYNC_SCHEMES, SCHEMES, cholqr,
                                     cholqr2, householder_qr, project_out,
                                     qr_factorization)
+from ..trace import tracer as trace
 from ..util import ledger
 from ..util.ledger import Kernel
 from ..util.misc import as_block, column_norms
@@ -164,6 +165,7 @@ def gcrodr(a, b, m=None, *, options: Options | None = None,
     targets = residual_targets(b2, options.tol)
     identity_m = isinstance(inner_m, IdentityPreconditioner)
     led = ledger.current()
+    tr = trace.current()
     chk = checker_for(options, context="gcrodr")
 
     history = ConvergenceHistory(rhs_norms=column_norms(b2))
@@ -263,20 +265,22 @@ def gcrodr(a, b, m=None, *, options: Options | None = None,
             if rank < p:
                 breakdown_seen = True
                 v1 = complete_block(v1, rank)
-            state = block_arnoldi_cycle(
-                op_apply, inner_m, v1, s1, max_steps=m_restart,
-                ortho=options.orthogonalization, qr_scheme=options.qr,
-                deflation_tol=options.deflation_tol, targets=targets,
-                history=history, identity_m=identity_m,
-                iteration_budget=options.max_it - total_it)
+            with tr.span("cycle", index=cycles, kind="harvest"):
+                state = block_arnoldi_cycle(
+                    op_apply, inner_m, v1, s1, max_steps=m_restart,
+                    ortho=options.orthogonalization, qr_scheme=options.qr,
+                    deflation_tol=options.deflation_tol, targets=targets,
+                    history=history, identity_m=identity_m,
+                    iteration_budget=options.max_it - total_it)
             total_it += state.steps
             cycles += 1
             breakdown_seen |= state.breakdown
             if state.steps:
-                y = state.hqr.solve()
-                z = state.z_stack(state.steps)
-                x += z @ y
-                led.flop(Kernel.BLAS3, 2.0 * n * z.shape[1] * p)
+                with tr.span("least_squares"):
+                    y = state.hqr.solve()
+                    z = state.z_stack(state.steps)
+                    x += z @ y
+                    led.flop(Kernel.BLAS3, 2.0 * n * z.shape[1] * p)
                 if chk.wants_full and not state.breakdown:
                     vst = state.v_stack()
                     chk.check_orthonormality(vst, what="harvest-cycle basis")
@@ -297,17 +301,21 @@ def gcrodr(a, b, m=None, *, options: Options | None = None,
                                                     history.rhs_norms, 1.0)
                 # lines 16-20: harvest the recycled space
                 hbar = state.hqr.hessenberg()
-                pk = harmonic_ritz_vectors(
-                    hbar, state.hqr.triangular(), state.hqr.last_subdiagonal_block(),
-                    p, k, dtype=dtype, target=options.recycle_target)
+                with tr.span("eig", kind="harmonic_ritz"):
+                    pk = harmonic_ritz_vectors(
+                        hbar, state.hqr.triangular(),
+                        state.hqr.last_subdiagonal_block(),
+                        p, k, dtype=dtype, target=options.recycle_target)
                 if pk.shape[1]:
-                    qf, s = _harvest(hbar, pk)
-                    vstack = state.v_stack()
-                    c_k = vstack @ qf
-                    u_k = z @ s
-                    led.flop(Kernel.BLAS3, 4.0 * n * vstack.shape[1] * qf.shape[1])
-                    u_k, c_k = _tidy_pair(u_k, c_k, op_apply,
-                                          options.orthogonalization)
+                    with tr.span("recycle_update", kind="harvest"):
+                        qf, s = _harvest(hbar, pk)
+                        vstack = state.v_stack()
+                        c_k = vstack @ qf
+                        u_k = z @ s
+                        led.flop(Kernel.BLAS3,
+                                 4.0 * n * vstack.shape[1] * qf.shape[1])
+                        u_k, c_k = _tidy_pair(u_k, c_k, op_apply,
+                                              options.orthogonalization)
                     chk.check_recycle(u_k, c_k, op_apply=op_apply,
                                       what="harvested recycle space")
 
@@ -323,18 +331,20 @@ def gcrodr(a, b, m=None, *, options: Options | None = None,
             if rank < p:
                 breakdown_seen = True
                 v1 = complete_block(v1, rank)
-            state = block_arnoldi_cycle(
-                op_apply, inner_m, v1, s1, max_steps=m_restart,
-                ortho=options.orthogonalization, qr_scheme=options.qr,
-                deflation_tol=options.deflation_tol, targets=targets,
-                history=history, identity_m=identity_m,
-                iteration_budget=options.max_it - total_it)
+            with tr.span("cycle", index=cycles, kind="gmres_fallback"):
+                state = block_arnoldi_cycle(
+                    op_apply, inner_m, v1, s1, max_steps=m_restart,
+                    ortho=options.orthogonalization, qr_scheme=options.qr,
+                    deflation_tol=options.deflation_tol, targets=targets,
+                    history=history, identity_m=identity_m,
+                    iteration_budget=options.max_it - total_it)
             total_it += state.steps
             cycles += 1
             if state.steps == 0:
                 break
-            y = state.hqr.solve()
-            x += state.z_stack(state.steps) @ y
+            with tr.span("least_squares"):
+                y = state.hqr.solve()
+                x += state.z_stack(state.steps) @ y
             r = _explicit_residual()
         else:
             k_cur = u_k.shape[1]
@@ -347,25 +357,28 @@ def gcrodr(a, b, m=None, *, options: Options | None = None,
                 v1 = complete_block(v1, rank, against=[c_k])
             chr_prev = _gram_reduce(c_k, r)          # C_k^H R_{j-1} (line 28, 1st term)
             # line 26: m-k steps of (block) GMRES on (I - C C^H) A
-            state = block_arnoldi_cycle(
-                op_apply, inner_m, v1, s1, max_steps=inner_steps, ck=c_k,
-                ortho=options.orthogonalization, qr_scheme=options.qr,
-                deflation_tol=options.deflation_tol, targets=targets,
-                history=history, identity_m=identity_m,
-                iteration_budget=options.max_it - total_it)
+            with tr.span("cycle", index=cycles, kind="gcrodr",
+                         same_system=bool(same_system)):
+                state = block_arnoldi_cycle(
+                    op_apply, inner_m, v1, s1, max_steps=inner_steps, ck=c_k,
+                    ortho=options.orthogonalization, qr_scheme=options.qr,
+                    deflation_tol=options.deflation_tol, targets=targets,
+                    history=history, identity_m=identity_m,
+                    iteration_budget=options.max_it - total_it)
             total_it += state.steps
             cycles += 1
             breakdown_seen |= state.breakdown
             if state.steps == 0:
                 break
             # lines 27-29: solve the projected LS problem and update X
-            y = state.hqr.solve()                    # (jp x p)
-            ek = state.ek_matrix()                   # (k x jp)
-            yk = chr_prev - ek @ y                   # line 28 (one small gemm + the
-            led.reduction(nbytes=k_cur * p * 8)      #  reduction noted in §III-D)
-            z = state.z_stack(state.steps)
-            x += u_k @ yk + z @ y
-            led.flop(Kernel.BLAS3, 2.0 * n * (k_cur + z.shape[1]) * p)
+            with tr.span("least_squares"):
+                y = state.hqr.solve()                # (jp x p)
+                ek = state.ek_matrix()               # (k x jp)
+                yk = chr_prev - ek @ y               # line 28 (one small gemm
+                led.reduction(nbytes=k_cur * p * 8)  #  + §III-D's reduction)
+                z = state.z_stack(state.steps)
+                x += u_k @ yk + z @ y
+                led.flop(Kernel.BLAS3, 2.0 * n * (k_cur + z.shape[1]) * p)
             if chk.wants_full and not state.breakdown:
                 vst = state.v_stack()
                 # V must be orthonormal AND orthogonal to C_k (the cycle ran
@@ -381,32 +394,38 @@ def gcrodr(a, b, m=None, *, options: Options | None = None,
             # lines 31-38: update the recycled space (skipped for
             # non-variable sequences — the same-system optimization)
             if not same_system:
-                led.event("recycle_update")
-                dk = column_norms(u_k)               # line 32
-                led.reduction(nbytes=k_cur * 8)
-                dk_safe = np.where(dk > 0, dk, 1.0)
-                u_tilde = u_k / dk_safe
-                hbar = state.hqr.hessenberg()        # ((j+1)p x jp)
-                jp = hbar.shape[1]
-                gm = np.zeros((k_cur + hbar.shape[0], k_cur + jp), dtype=dtype)
-                gm[:k_cur, :k_cur] = np.diag((1.0 / dk_safe).astype(dtype))
-                gm[:k_cur, k_cur:] = ek
-                gm[k_cur:, k_cur:] = hbar
-                w = _strategy_w(options.recycle_strategy, gm, c_k,
-                                state.v_stack(), u_tilde, k_cur, jp)
-                pk = generalized_ritz_vectors(gm, w, k, dtype=dtype,
-                                              target=options.recycle_target)
-                if pk.shape[1]:
-                    qf, s = _harvest(gm, pk)         # line 35 (pivoted, trimmed)
-                    cv = np.concatenate([c_k, state.v_stack()], axis=1)
-                    uz = np.concatenate([u_tilde, z], axis=1)
-                    c_k = cv @ qf                    # line 36
-                    u_k = uz @ s                     # line 37
-                    led.flop(Kernel.BLAS3, 4.0 * n * cv.shape[1] * qf.shape[1])
-                    u_k, c_k = _tidy_pair(u_k, c_k, op_apply,
-                                          options.orthogonalization)
-                    chk.check_recycle(u_k, c_k, op_apply=op_apply,
-                                      what="updated recycle space")
+                with tr.span("recycle_update",
+                             strategy=options.recycle_strategy):
+                    led.event("recycle_update")
+                    dk = column_norms(u_k)           # line 32
+                    led.reduction(nbytes=k_cur * 8)
+                    dk_safe = np.where(dk > 0, dk, 1.0)
+                    u_tilde = u_k / dk_safe
+                    hbar = state.hqr.hessenberg()    # ((j+1)p x jp)
+                    jp = hbar.shape[1]
+                    gm = np.zeros((k_cur + hbar.shape[0], k_cur + jp),
+                                  dtype=dtype)
+                    gm[:k_cur, :k_cur] = np.diag((1.0 / dk_safe).astype(dtype))
+                    gm[:k_cur, k_cur:] = ek
+                    gm[k_cur:, k_cur:] = hbar
+                    w = _strategy_w(options.recycle_strategy, gm, c_k,
+                                    state.v_stack(), u_tilde, k_cur, jp)
+                    with tr.span("eig", kind="generalized_ritz"):
+                        pk = generalized_ritz_vectors(
+                            gm, w, k, dtype=dtype,
+                            target=options.recycle_target)
+                    if pk.shape[1]:
+                        qf, s = _harvest(gm, pk)     # line 35 (pivoted)
+                        cv = np.concatenate([c_k, state.v_stack()], axis=1)
+                        uz = np.concatenate([u_tilde, z], axis=1)
+                        c_k = cv @ qf                # line 36
+                        u_k = uz @ s                 # line 37
+                        led.flop(Kernel.BLAS3,
+                                 4.0 * n * cv.shape[1] * qf.shape[1])
+                        u_k, c_k = _tidy_pair(u_k, c_k, op_apply,
+                                              options.orthogonalization)
+                        chk.check_recycle(u_k, c_k, op_apply=op_apply,
+                                          what="updated recycle space")
 
         rn = column_norms(r)
         led.reduction(nbytes=p * 8)

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..la.blockqr import BlockHessenbergQR
 from ..la.orthogonalization import PseudoBlockOrthogonalizer
+from ..trace import tracer as trace
 from ..util import ledger
 from ..util.ledger import Kernel
 from ..util.misc import as_block, column_norms
@@ -112,6 +113,7 @@ def gmres(a, b, m=None, *, options: Options | None = None,
     restart = min(options.gmres_restart, n)
     identity_m = isinstance(inner_m, IdentityPreconditioner)
     led = ledger.current()
+    tr = trace.current()
     chk = checker_for(options, context="gmres")
 
     total_it = 0
@@ -120,75 +122,85 @@ def gmres(a, b, m=None, *, options: Options | None = None,
 
     while not np.all(converged) and total_it < options.max_it:
         cycles += 1
-        # ---- start of a restart cycle -----------------------------------
-        v = np.zeros((restart + 1, n, p), dtype=dtype)
-        z = v if identity_m else np.zeros((restart, n, p), dtype=dtype)
-        beta = column_norms(r)
-        led.reduction(nbytes=p * 8)
-        active = ~converged & (beta > 0)
-        v0 = np.zeros_like(r)
-        nz = beta > 0
-        v0[:, nz] = r[:, nz] / beta[nz]
-        v[0] = v0
-        hqrs = [BlockHessenbergQR(restart, 1, np.array([[beta[l]]]), dtype=dtype)
-                for l in range(p)]
-        col_iters = np.zeros(p, dtype=int)  # Arnoldi columns built per RHS
-        orth = PseudoBlockOrthogonalizer(options.orthogonalization, n=n, p=p,
-                                         dtype=dtype, max_cols=restart + 1)
-        orth.begin(v[:1])
+        with tr.span("cycle", index=cycles - 1):
+            # ---- start of a restart cycle -------------------------------
+            v = np.zeros((restart + 1, n, p), dtype=dtype)
+            z = v if identity_m else np.zeros((restart, n, p), dtype=dtype)
+            beta = column_norms(r)
+            led.reduction(nbytes=p * 8)
+            active = ~converged & (beta > 0)
+            v0 = np.zeros_like(r)
+            nz = beta > 0
+            v0[:, nz] = r[:, nz] / beta[nz]
+            v[0] = v0
+            hqrs = [BlockHessenbergQR(restart, 1, np.array([[beta[l]]]),
+                                      dtype=dtype)
+                    for l in range(p)]
+            col_iters = np.zeros(p, dtype=int)  # Arnoldi columns per RHS
+            orth = PseudoBlockOrthogonalizer(options.orthogonalization, n=n,
+                                             p=p, dtype=dtype,
+                                             max_cols=restart + 1)
+            orth.begin(v[:1])
 
-        j = 0
-        while j < restart and np.any(active) and total_it < options.max_it:
-            zj = v[j] if identity_m else np.asarray(inner_m(v[j])).astype(dtype, copy=False)
-            if not identity_m:
-                z[j] = zj
-            w = op_apply(zj)
-            # fused orthogonalization against each column's own basis: the
-            # whole bundle advances with the active scheme's reduction count
-            # (cgs 2, imgs 3, mgs j+2, cgs2_1r 2, sketched 1 per step)
-            w, dots, nrm = orth.step(v[: j + 1], w, j)
-            appended = np.zeros(p, dtype=bool)
+            j = 0
+            while j < restart and np.any(active) and total_it < options.max_it:
+                with tr.span("arnoldi_step", j=j):
+                    zj = v[j] if identity_m else \
+                        np.asarray(inner_m(v[j])).astype(dtype, copy=False)
+                    if not identity_m:
+                        z[j] = zj
+                    w = op_apply(zj)
+                    # fused orthogonalization against each column's own
+                    # basis: the whole bundle advances with the active
+                    # scheme's reduction count (cgs 2, imgs 3, mgs j+2,
+                    # cgs2_1r 2, sketched 1 per step)
+                    with tr.span("ortho", scheme=options.orthogonalization):
+                        w, dots, nrm = orth.step(v[: j + 1], w, j)
+                    appended = np.zeros(p, dtype=bool)
 
-            new_res = np.zeros(p)
-            for l in range(p):
-                if not active[l]:
-                    continue
-                scale = max(history.rhs_norms[l], 1.0)
-                if nrm[l] <= 1e-300 or not np.isfinite(nrm[l]):
-                    # exact (lucky) breakdown for this column: the Krylov
-                    # space is invariant; solve and freeze.
-                    hcol = np.concatenate([dots[:, l], [0.0]]).reshape(-1, 1)
-                    res = hqrs[l].add_column(hcol.astype(dtype))
-                    col_iters[l] = j + 1
-                    active[l] = False
-                    new_res[l] = float(res[0])
-                    continue
-                v[j + 1, :, l] = w[:, l] / nrm[l]
-                appended[l] = True
-                hcol = np.concatenate([dots[:, l], [nrm[l]]]).reshape(-1, 1)
-                res = hqrs[l].add_column(hcol.astype(dtype))
-                col_iters[l] = j + 1
-                new_res[l] = float(res[0])
-                if new_res[l] <= targets[l]:
-                    active[l] = False
-            orth.commit(appended)
-            # history: converged/frozen columns keep their last value
-            prev = history.records[-1] * np.where(history.rhs_norms > 0,
-                                                  history.rhs_norms, 1.0)
-            rec = np.where(col_iters == j + 1, new_res, prev)
-            history.append(rec)
-            total_it += 1
-            j += 1
+                    new_res = np.zeros(p)
+                    for l in range(p):
+                        if not active[l]:
+                            continue
+                        scale = max(history.rhs_norms[l], 1.0)
+                        if nrm[l] <= 1e-300 or not np.isfinite(nrm[l]):
+                            # exact (lucky) breakdown for this column: the
+                            # Krylov space is invariant; solve and freeze.
+                            hcol = np.concatenate(
+                                [dots[:, l], [0.0]]).reshape(-1, 1)
+                            res = hqrs[l].add_column(hcol.astype(dtype))
+                            col_iters[l] = j + 1
+                            active[l] = False
+                            new_res[l] = float(res[0])
+                            continue
+                        v[j + 1, :, l] = w[:, l] / nrm[l]
+                        appended[l] = True
+                        hcol = np.concatenate(
+                            [dots[:, l], [nrm[l]]]).reshape(-1, 1)
+                        res = hqrs[l].add_column(hcol.astype(dtype))
+                        col_iters[l] = j + 1
+                        new_res[l] = float(res[0])
+                        if new_res[l] <= targets[l]:
+                            active[l] = False
+                    orth.commit(appended)
+                # history: converged/frozen columns keep their last value
+                prev = history.records[-1] * np.where(history.rhs_norms > 0,
+                                                      history.rhs_norms, 1.0)
+                rec = np.where(col_iters == j + 1, new_res, prev)
+                history.append(rec)
+                total_it += 1
+                j += 1
 
-        # ---- end of cycle: update the iterate ---------------------------
-        for l in range(p):
-            jc = col_iters[l]
-            if jc == 0:
-                continue
-            y = hqrs[l].solve()[:, 0]
-            zl = z[:jc, :, l]
-            x[:, l] += zl.T @ y
-            led.flop(Kernel.BLAS2, 2.0 * n * jc)
+            # ---- end of cycle: update the iterate -----------------------
+            with tr.span("least_squares"):
+                for l in range(p):
+                    jc = col_iters[l]
+                    if jc == 0:
+                        continue
+                    y = hqrs[l].solve()[:, 0]
+                    zl = z[:jc, :, l]
+                    x[:, l] += zl.T @ y
+                    led.flop(Kernel.BLAS2, 2.0 * n * jc)
         if chk.wants_full:
             # per-column Arnoldi relation and basis orthonormality: each RHS
             # keeps its own recurrence, so each is checked independently

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..la.dense import hessenberg_harmonic_lhs, sorted_eig
 from ..la.orthogonalization import SCHEMES, PseudoBlockOrthogonalizer
+from ..trace import tracer as trace
 from ..util import ledger
 from ..util.ledger import Kernel
 from ..util.misc import as_block, column_norms
@@ -66,6 +67,7 @@ def gmresdr(a, b, m=None, *, options: Options | None = None,
     targets = residual_targets(b2, options.tol)
     identity_m = isinstance(inner_m, IdentityPreconditioner)
     led = ledger.current()
+    tr = trace.current()
     chk = checker_for(options, context="gmresdr")
 
     history = ConvergenceHistory(rhs_norms=column_norms(b2))
@@ -118,44 +120,49 @@ def gmresdr(a, b, m=None, *, options: Options | None = None,
             v[:, : start + 1].T)[:, :, np.newaxis])
         j = start
         lucky = False
-        while j < m_dim and total_it < options.max_it:
-            zj = v[:, j] if identity_m else np.asarray(
-                inner_m(v[:, j].reshape(-1, 1)))[:, 0].astype(dtype)
-            w = op_apply(zj.reshape(-1, 1))
-            basis = np.ascontiguousarray(v[:, : j + 1].T)[:, :, np.newaxis]
-            w2, dots, nrms = orth.step(basis, w, j)
-            w = w2[:, 0]
-            coeffs = dots[:, 0]
-            nrm = float(nrms[0])
-            hbar[: j + 1, j] = coeffs
-            hbar[j + 1, j] = nrm
-            total_it += 1
-            j += 1
-            if nrm <= 1e-300:
-                lucky = True
-                break
-            v[:, j] = w / nrm
-            orth.commit(np.ones(1, dtype=bool))
-            # residual estimate via a small LS solve (redundant work)
-            y_est, *_ = np.linalg.lstsq(hbar[: j + 1, :j], c_rhs[: j + 1],
-                                        rcond=None)
-            res_est = float(np.linalg.norm(
-                c_rhs[: j + 1] - hbar[: j + 1, :j] @ y_est))
-            history.append(np.array([res_est]))
-            if res_est <= targets[0]:
-                break
+        with tr.span("cycle", index=cycles - 1, kind="gmresdr"):
+            while j < m_dim and total_it < options.max_it:
+                with tr.span("arnoldi_step", j=j):
+                    zj = v[:, j] if identity_m else np.asarray(
+                        inner_m(v[:, j].reshape(-1, 1)))[:, 0].astype(dtype)
+                    w = op_apply(zj.reshape(-1, 1))
+                    basis = np.ascontiguousarray(
+                        v[:, : j + 1].T)[:, :, np.newaxis]
+                    with tr.span("ortho", scheme=scheme):
+                        w2, dots, nrms = orth.step(basis, w, j)
+                    w = w2[:, 0]
+                    coeffs = dots[:, 0]
+                    nrm = float(nrms[0])
+                    hbar[: j + 1, j] = coeffs
+                    hbar[j + 1, j] = nrm
+                    total_it += 1
+                    j += 1
+                    if nrm <= 1e-300:
+                        lucky = True
+                        break
+                    v[:, j] = w / nrm
+                    orth.commit(np.ones(1, dtype=bool))
+                # residual estimate via a small LS solve (redundant work)
+                y_est, *_ = np.linalg.lstsq(hbar[: j + 1, :j], c_rhs[: j + 1],
+                                            rcond=None)
+                res_est = float(np.linalg.norm(
+                    c_rhs[: j + 1] - hbar[: j + 1, :j] @ y_est))
+                history.append(np.array([res_est]))
+                if res_est <= targets[0]:
+                    break
         jc = j
         if jc == 0:
             break
 
         # ---- solve the projected problem and update x ---------------------
-        hj = hbar[: jc + 1, :jc]
-        y, *_ = np.linalg.lstsq(hj, c_rhs[: jc + 1], rcond=None)
-        if identity_m:
-            dx = v[:, :jc] @ y
-        else:
-            dx = np.asarray(inner_m(v[:, :jc] @ y.reshape(-1, 1)))[:, 0]
-        x[:, 0] += dx
+        with tr.span("least_squares"):
+            hj = hbar[: jc + 1, :jc]
+            y, *_ = np.linalg.lstsq(hj, c_rhs[: jc + 1], rcond=None)
+            if identity_m:
+                dx = v[:, :jc] @ y
+            else:
+                dx = np.asarray(inner_m(v[:, :jc] @ y.reshape(-1, 1)))[:, 0]
+            x[:, 0] += dx
         if chk.wants_full:
             # the augmented-Arnoldi relation A M V_jc = V_{jc+1} Hbar holds
             # across deflated restarts for a constant M (Morgan's identity);
@@ -186,10 +193,12 @@ def gmresdr(a, b, m=None, *, options: Options | None = None,
             break
 
         # ---- deflated restart: harmonic Ritz + LS residual ---------------
-        hmat = hessenberg_harmonic_lhs(hj, None, hbar[jc: jc + 1, jc - 1: jc],
-                                       1)
-        vals, vecs = sorted_eig(hmat, jc, target=options.recycle_target)
-        pk = select_real_subspace(vals, vecs, min(k, jc - 1), np.dtype(dtype))
+        with tr.span("eig", kind="harmonic_ritz"):
+            hmat = hessenberg_harmonic_lhs(hj, None,
+                                           hbar[jc: jc + 1, jc - 1: jc], 1)
+            vals, vecs = sorted_eig(hmat, jc, target=options.recycle_target)
+            pk = select_real_subspace(vals, vecs, min(k, jc - 1),
+                                      np.dtype(dtype))
         if pk.shape[1] == 0:
             v_aug = None
             h_lead = None

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..la.blockqr import BlockHessenbergQR
 from ..la.orthogonalization import SCHEMES, PseudoBlockOrthogonalizer
+from ..trace import tracer as trace
 from ..util import ledger
 from ..util.ledger import Kernel
 from ..util.misc import as_block, column_norms
@@ -108,6 +109,7 @@ def pgcrodr(a, b, m=None, *, options: Options | None = None,
     targets = residual_targets(b2, options.tol)
     identity_m = isinstance(inner_m, IdentityPreconditioner)
     led = ledger.current()
+    tr = trace.current()
     chk = checker_for(options, context="pgcrodr")
 
     history = ConvergenceHistory(rhs_norms=column_norms(b2))
@@ -234,77 +236,89 @@ def pgcrodr(a, b, m=None, *, options: Options | None = None,
         orth.begin(v[:1])
 
         j = 0
-        while j < steps and any(c.active for c in cols) \
-                and total_it < options.max_it:
-            zj = v[j] if identity_m else \
-                np.asarray(inner_m(v[j])).astype(dtype, copy=False)
-            if not identity_m:
-                z[j] = zj
-            w = op_apply(zj)
-            if fold_ck:
-                aug = np.concatenate([ck_blocks, v[: j + 1]], axis=0)
-                w, adots, nrm = orth.step(aug, w, kmax + j)
-                dots = adots[kmax:]
-                for l, col in enumerate(cols):
-                    if col.active and col.c is not None:
-                        col.e_cols.append(adots[: col.k, l].reshape(-1, 1))
-            else:
-                # fused projection against each column's own C_l
-                # (1 reduction), then the scheme engine on the V basis
-                any_ck = False
-                for l, col in enumerate(cols):
-                    if col.active and col.c is not None and not harvesting:
-                        e_col = col.c.conj().T @ w[:, l]
-                        w[:, l] -= col.c @ e_col
-                        col.e_cols.append(e_col.reshape(-1, 1))
-                        any_ck = True
-                if any_ck:
-                    led.reduction(nbytes=p * k * w.itemsize)
-                w, dots, nrm = orth.step(v[: j + 1], w, j)
+        with tr.span("cycle", index=cycles - 1,
+                     kind="harvest" if harvesting else "pgcrodr",
+                     same_system=bool(same_system)):
+            while j < steps and any(c.active for c in cols) \
+                    and total_it < options.max_it:
+                with tr.span("arnoldi_step", j=j):
+                    zj = v[j] if identity_m else \
+                        np.asarray(inner_m(v[j])).astype(dtype, copy=False)
+                    if not identity_m:
+                        z[j] = zj
+                    w = op_apply(zj)
+                    with tr.span("ortho", scheme=options.orthogonalization):
+                        if fold_ck:
+                            aug = np.concatenate([ck_blocks, v[: j + 1]],
+                                                 axis=0)
+                            w, adots, nrm = orth.step(aug, w, kmax + j)
+                            dots = adots[kmax:]
+                            for l, col in enumerate(cols):
+                                if col.active and col.c is not None:
+                                    col.e_cols.append(
+                                        adots[: col.k, l].reshape(-1, 1))
+                        else:
+                            # fused projection against each column's own C_l
+                            # (1 reduction), then the scheme engine on V
+                            any_ck = False
+                            for l, col in enumerate(cols):
+                                if col.active and col.c is not None \
+                                        and not harvesting:
+                                    e_col = col.c.conj().T @ w[:, l]
+                                    w[:, l] -= col.c @ e_col
+                                    col.e_cols.append(e_col.reshape(-1, 1))
+                                    any_ck = True
+                            if any_ck:
+                                led.reduction(nbytes=p * k * w.itemsize)
+                            w, dots, nrm = orth.step(v[: j + 1], w, j)
 
-            appended = np.zeros(p, dtype=bool)
-            new_res = np.zeros(p)
-            prev = history.records[-1] * np.where(history.rhs_norms > 0,
-                                                  history.rhs_norms, 1.0)
-            for l, col in enumerate(cols):
-                if not col.active:
-                    new_res[l] = prev[l]
-                    continue
-                if nrm[l] <= 1e-300 or not np.isfinite(nrm[l]):
-                    hcol = np.concatenate([dots[:, l], [0.0]]).reshape(-1, 1)
-                    res_l = col.hqr.add_column(hcol.astype(dtype))
-                    col.steps = j + 1
-                    col.active = False
-                    new_res[l] = float(res_l[0])
-                    continue
-                v[j + 1, :, l] = w[:, l] / nrm[l]
-                appended[l] = True
-                hcol = np.concatenate([dots[:, l], [nrm[l]]]).reshape(-1, 1)
-                res_l = col.hqr.add_column(hcol.astype(dtype))
-                col.steps = j + 1
-                new_res[l] = float(res_l[0])
-                if new_res[l] <= targets[l]:
-                    col.active = False
-            orth.commit(appended)
-            history.append(new_res)
-            total_it += 1
-            j += 1
+                    appended = np.zeros(p, dtype=bool)
+                    new_res = np.zeros(p)
+                    prev = history.records[-1] * np.where(
+                        history.rhs_norms > 0, history.rhs_norms, 1.0)
+                    for l, col in enumerate(cols):
+                        if not col.active:
+                            new_res[l] = prev[l]
+                            continue
+                        if nrm[l] <= 1e-300 or not np.isfinite(nrm[l]):
+                            hcol = np.concatenate(
+                                [dots[:, l], [0.0]]).reshape(-1, 1)
+                            res_l = col.hqr.add_column(hcol.astype(dtype))
+                            col.steps = j + 1
+                            col.active = False
+                            new_res[l] = float(res_l[0])
+                            continue
+                        v[j + 1, :, l] = w[:, l] / nrm[l]
+                        appended[l] = True
+                        hcol = np.concatenate(
+                            [dots[:, l], [nrm[l]]]).reshape(-1, 1)
+                        res_l = col.hqr.add_column(hcol.astype(dtype))
+                        col.steps = j + 1
+                        new_res[l] = float(res_l[0])
+                        if new_res[l] <= targets[l]:
+                            col.active = False
+                    orth.commit(appended)
+                history.append(new_res)
+                total_it += 1
+                j += 1
 
         # ---- end of cycle: per-column updates ----------------------------
-        for l, col in enumerate(cols):
-            jc = col.steps
-            if jc == 0:
-                continue
-            y = col.hqr.solve()[:, 0]
-            zl = z[:jc, :, l]
-            dx = zl.T @ y
-            if col.u is not None and not harvesting:
-                ek = (np.concatenate(col.e_cols, axis=1)
-                      if col.e_cols else np.zeros((col.k, jc), dtype=dtype))
-                yk = col.chr_prev - ek @ y
-                dx = dx + col.u @ yk
-            x[:, l] += dx
-            led.flop(Kernel.BLAS2, 2.0 * n * jc)
+        with tr.span("least_squares"):
+            for l, col in enumerate(cols):
+                jc = col.steps
+                if jc == 0:
+                    continue
+                y = col.hqr.solve()[:, 0]
+                zl = z[:jc, :, l]
+                dx = zl.T @ y
+                if col.u is not None and not harvesting:
+                    ek = (np.concatenate(col.e_cols, axis=1)
+                          if col.e_cols else np.zeros((col.k, jc),
+                                                      dtype=dtype))
+                    yk = col.chr_prev - ek @ y
+                    dx = dx + col.u @ yk
+                x[:, l] += dx
+                led.flop(Kernel.BLAS2, 2.0 * n * jc)
         if chk.wants_full:
             # per-column (projected) Arnoldi relation and orthonormality of
             # [C_l V_l]; trailing lucky-breakdown zero columns are trimmed
@@ -357,55 +371,63 @@ def pgcrodr(a, b, m=None, *, options: Options | None = None,
             if harvesting:
                 if jc < 2:
                     continue
-                hbar = col.hqr.hessenberg()
-                pk = harmonic_ritz_vectors(
-                    hbar, col.hqr.triangular(), col.hqr.last_subdiagonal_block(),
-                    1, k, dtype=dtype, target=options.recycle_target)
-                if pk.shape[1]:
-                    qf, s = _harvest(hbar, pk)
+                with tr.span("recycle_update", kind="harvest", column=l):
+                    hbar = col.hqr.hessenberg()
+                    with tr.span("eig", kind="harmonic_ritz"):
+                        pk = harmonic_ritz_vectors(
+                            hbar, col.hqr.triangular(),
+                            col.hqr.last_subdiagonal_block(),
+                            1, k, dtype=dtype, target=options.recycle_target)
+                    if pk.shape[1]:
+                        qf, s = _harvest(hbar, pk)
+                        vstack = np.column_stack(
+                            [v[i, :, l] for i in range(jc + 1)])
+                        zstack = vstack[:, :jc] if identity_m else \
+                            np.column_stack([z[i, :, l] for i in range(jc)])
+                        col.c = vstack @ qf
+                        col.u = zstack @ s
+                        col.u, col.c = _tidy_pair(col.u, col.c, op_apply,
+                                                  options.orthogonalization)
+                        chk.check_recycle(
+                            col.u, col.c, op_apply=op_apply,
+                            what=f"harvested recycle space (column {l})")
+            elif not same_system and col.u is not None:
+                with tr.span("recycle_update", column=l,
+                             strategy=options.recycle_strategy):
+                    led.event("recycle_update")
+                    dk = np.linalg.norm(col.u, axis=0)
+                    led.reduction(nbytes=col.k * 8)
+                    dk_safe = np.where(dk > 0, dk, 1.0)
+                    u_tilde = col.u / dk_safe
+                    hbar = col.hqr.hessenberg()
+                    kc = col.k
+                    ek = (np.concatenate(col.e_cols, axis=1)
+                          if col.e_cols else np.zeros((kc, jc), dtype=dtype))
+                    gm = np.zeros((kc + hbar.shape[0], kc + jc), dtype=dtype)
+                    gm[:kc, :kc] = np.diag((1.0 / dk_safe).astype(dtype))
+                    gm[:kc, kc:] = ek
+                    gm[kc:, kc:] = hbar
                     vstack = np.column_stack(
                         [v[i, :, l] for i in range(jc + 1)])
                     zstack = vstack[:, :jc] if identity_m else \
                         np.column_stack([z[i, :, l] for i in range(jc)])
-                    col.c = vstack @ qf
-                    col.u = zstack @ s
-                    col.u, col.c = _tidy_pair(col.u, col.c, op_apply,
-                                              options.orthogonalization)
-                    chk.check_recycle(
-                        col.u, col.c, op_apply=op_apply,
-                        what=f"harvested recycle space (column {l})")
-            elif not same_system and col.u is not None:
-                led.event("recycle_update")
-                dk = np.linalg.norm(col.u, axis=0)
-                led.reduction(nbytes=col.k * 8)
-                dk_safe = np.where(dk > 0, dk, 1.0)
-                u_tilde = col.u / dk_safe
-                hbar = col.hqr.hessenberg()
-                kc = col.k
-                ek = (np.concatenate(col.e_cols, axis=1)
-                      if col.e_cols else np.zeros((kc, jc), dtype=dtype))
-                gm = np.zeros((kc + hbar.shape[0], kc + jc), dtype=dtype)
-                gm[:kc, :kc] = np.diag((1.0 / dk_safe).astype(dtype))
-                gm[:kc, kc:] = ek
-                gm[kc:, kc:] = hbar
-                vstack = np.column_stack([v[i, :, l] for i in range(jc + 1)])
-                zstack = vstack[:, :jc] if identity_m else \
-                    np.column_stack([z[i, :, l] for i in range(jc)])
-                w_mat = _strategy_w(options.recycle_strategy, gm, col.c,
-                                    vstack, u_tilde, kc, jc)
-                pk = generalized_ritz_vectors(gm, w_mat, k, dtype=dtype,
-                                              target=options.recycle_target)
-                if pk.shape[1]:
-                    qf, s = _harvest(gm, pk)
-                    cv = np.concatenate([col.c, vstack], axis=1)
-                    uz = np.concatenate([u_tilde, zstack], axis=1)
-                    col.c = cv @ qf
-                    col.u = uz @ s
-                    col.u, col.c = _tidy_pair(col.u, col.c, op_apply,
-                                              options.orthogonalization)
-                    chk.check_recycle(
-                        col.u, col.c, op_apply=op_apply,
-                        what=f"updated recycle space (column {l})")
+                    w_mat = _strategy_w(options.recycle_strategy, gm, col.c,
+                                        vstack, u_tilde, kc, jc)
+                    with tr.span("eig", kind="generalized_ritz"):
+                        pk = generalized_ritz_vectors(
+                            gm, w_mat, k, dtype=dtype,
+                            target=options.recycle_target)
+                    if pk.shape[1]:
+                        qf, s = _harvest(gm, pk)
+                        cv = np.concatenate([col.c, vstack], axis=1)
+                        uz = np.concatenate([u_tilde, zstack], axis=1)
+                        col.c = cv @ qf
+                        col.u = uz @ s
+                        col.u, col.c = _tidy_pair(col.u, col.c, op_apply,
+                                                  options.orthogonalization)
+                        chk.check_recycle(
+                            col.u, col.c, op_apply=op_apply,
+                            what=f"updated recycle space (column {l})")
         if harvesting and any(col.u is not None for col in cols):
             have_recycle = True
 

@@ -28,6 +28,7 @@ import scipy.sparse as sp
 from ..direct.solver import SparseLU
 from ..krylov.base import Preconditioner, as_operator
 from ..krylov.chebyshev import chebyshev_iteration, estimate_lambda_max
+from ..trace import tracer as trace
 from ..util import ledger
 from ..util.ledger import CostLedger, Kernel
 from ..util.misc import as_block
@@ -123,45 +124,51 @@ class SmoothedAggregationAMG(Preconditioner):
         # unchanged, and ``setup_cost`` records what a setup cache amortizes
         led = CostLedger()
 
-        with ledger.install(led), led.timer("amg_setup"):
-            ns = nullspace
-            if ns is None:
-                ns = np.ones((a.shape[0], 1), dtype=self.dtype)
-            ns = np.asarray(ns, dtype=self.dtype)
-            if ns.ndim == 1:
-                ns = ns.reshape(-1, 1)
-            bs = block_size
-            current = a
-            for lvl in range(max_levels):
-                diag = np.asarray(current.diagonal())
-                lam = estimate_lambda_max(as_operator(current), diag)
-                self.levels.append(AMGLevel(a=current, p=None, diag=diag,
-                                            lam_max=lam, smoother_state={}))
-                if current.shape[0] <= coarse_size:
-                    break
-                node_mat = _condense_to_nodes(current, bs)
-                sq = 1 if lvl < square_graph else 0
-                graph = strength_graph(node_mat, threshold=threshold, square=sq)
-                agg = greedy_aggregation(graph)
-                n_agg = int(agg.max()) + 1
-                if n_agg * ns.shape[1] >= current.shape[0]:
-                    break  # coarsening stalled
-                t, coarse_ns = tentative_prolongator(agg, ns, block_size=bs)
-                # smoothed prolongator: P = (I - omega D^{-1} A) T
-                dinv = 1.0 / np.where(np.abs(diag) > 0, diag, 1.0)
-                p = t - sp.diags(omega / max(lam, 1e-12) * dinv) @ (current @ t)
-                p = sp.csr_matrix(p)
-                coarse = sp.csr_matrix(p.conj().T @ current @ p)
-                led.flop(Kernel.SPMM, 4.0 * current.nnz * t.shape[1])
-                self.levels[-1].p = p
-                current = coarse
-                ns = coarse_ns
-                bs = ns.shape[1]   # coarse DOFs per aggregate = nvec
-            # coarse solver
-            self._coarse_lu = (SparseLU(self.levels[-1].a, engine="auto")
-                               if coarse_solver == "lu" else None)
-        self.setup_cost = led
-        ledger.current().merge(led)
+        # the span sits on the *ambient* ledger and encloses the merge, so
+        # its window records the full setup cost; the inner SparseLU span
+        # opens against the private ledger and is skipped by ``exclusive``
+        with trace.current().span("setup.amg", threshold=threshold,
+                                  smoother=smoother):
+            with ledger.install(led), led.timer("amg_setup"):
+                ns = nullspace
+                if ns is None:
+                    ns = np.ones((a.shape[0], 1), dtype=self.dtype)
+                ns = np.asarray(ns, dtype=self.dtype)
+                if ns.ndim == 1:
+                    ns = ns.reshape(-1, 1)
+                bs = block_size
+                current = a
+                for lvl in range(max_levels):
+                    diag = np.asarray(current.diagonal())
+                    lam = estimate_lambda_max(as_operator(current), diag)
+                    self.levels.append(AMGLevel(a=current, p=None, diag=diag,
+                                                lam_max=lam, smoother_state={}))
+                    if current.shape[0] <= coarse_size:
+                        break
+                    node_mat = _condense_to_nodes(current, bs)
+                    sq = 1 if lvl < square_graph else 0
+                    graph = strength_graph(node_mat, threshold=threshold,
+                                           square=sq)
+                    agg = greedy_aggregation(graph)
+                    n_agg = int(agg.max()) + 1
+                    if n_agg * ns.shape[1] >= current.shape[0]:
+                        break  # coarsening stalled
+                    t, coarse_ns = tentative_prolongator(agg, ns, block_size=bs)
+                    # smoothed prolongator: P = (I - omega D^{-1} A) T
+                    dinv = 1.0 / np.where(np.abs(diag) > 0, diag, 1.0)
+                    p = t - sp.diags(omega / max(lam, 1e-12) * dinv) @ (current @ t)
+                    p = sp.csr_matrix(p)
+                    coarse = sp.csr_matrix(p.conj().T @ current @ p)
+                    led.flop(Kernel.SPMM, 4.0 * current.nnz * t.shape[1])
+                    self.levels[-1].p = p
+                    current = coarse
+                    ns = coarse_ns
+                    bs = ns.shape[1]   # coarse DOFs per aggregate = nvec
+                # coarse solver
+                self._coarse_lu = (SparseLU(self.levels[-1].a, engine="auto")
+                                   if coarse_solver == "lu" else None)
+            self.setup_cost = led
+            ledger.current().merge(led)
 
     # ------------------------------------------------------------------
     @property

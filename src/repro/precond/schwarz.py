@@ -31,6 +31,7 @@ from ..direct.solver import SparseLU
 from ..direct.triangular import TriangularFactor, concat_factors
 from ..krylov.base import Preconditioner
 from ..problems.partition import OverlappingDecomposition, decompose
+from ..trace import tracer as trace
 from ..util import ledger
 from ..util.execmode import exec_mode
 from ..util.ledger import CostLedger, CostTable
@@ -149,49 +150,57 @@ class SchwarzPreconditioner(Preconditioner):
         # private setup ledger, replayed onto the ambient one: totals are
         # unchanged, and ``setup_cost`` records what a setup cache amortizes
         led = CostLedger()
-        with ledger.install(led), led.timer("schwarz_setup"):
-            if decomposition is None:
-                pou_kind = "boolean" if variant in ("ras", "oras") else "multiplicity"
-                decomposition = decompose(a, nparts, overlap=overlap,
-                                          points=points, pou=pou_kind)
-            self.decomposition = decomposition
-            self.subdomains = decomposition.overlapping
-            self.pou = decomposition.pou
-            self.solvers: list[SparseLU] = []
-            for i, dofs in enumerate(self.subdomains):
-                if local_matrices is not None:
-                    b_i = sp.csc_matrix(local_matrices[i])
-                    if b_i.shape[0] != len(dofs):
-                        raise ValueError(
-                            f"local matrix {i} has size {b_i.shape[0]}, "
-                            f"subdomain has {len(dofs)} DOFs")
-                elif variant == "oras" and interface_shift != 0.0:
-                    b_i = algebraic_interface_shift(a, dofs, interface_shift)
-                else:
-                    b_i = sp.csc_matrix(a[dofs][:, dofs])
-                self.solvers.append(SparseLU(b_i, engine=engine))
-            led.event("schwarz_factorizations", len(self.subdomains))
-            self._fused_batch: _FusedBatch | None = None
+        # the span sits on the *ambient* ledger and encloses the merge, so
+        # its window records the full setup cost; per-subdomain SparseLU
+        # spans open against the private ledger and are skipped by
+        # ``exclusive``
+        with trace.current().span("setup.schwarz", variant=variant,
+                                  coarse=bool(coarse)):
+            with ledger.install(led), led.timer("schwarz_setup"):
+                if decomposition is None:
+                    pou_kind = ("boolean" if variant in ("ras", "oras")
+                                else "multiplicity")
+                    decomposition = decompose(a, nparts, overlap=overlap,
+                                              points=points, pou=pou_kind)
+                self.decomposition = decomposition
+                self.subdomains = decomposition.overlapping
+                self.pou = decomposition.pou
+                self.solvers: list[SparseLU] = []
+                for i, dofs in enumerate(self.subdomains):
+                    if local_matrices is not None:
+                        b_i = sp.csc_matrix(local_matrices[i])
+                        if b_i.shape[0] != len(dofs):
+                            raise ValueError(
+                                f"local matrix {i} has size {b_i.shape[0]}, "
+                                f"subdomain has {len(dofs)} DOFs")
+                    elif variant == "oras" and interface_shift != 0.0:
+                        b_i = algebraic_interface_shift(a, dofs, interface_shift)
+                    else:
+                        b_i = sp.csc_matrix(a[dofs][:, dofs])
+                    self.solvers.append(SparseLU(b_i, engine=engine))
+                led.event("schwarz_factorizations", len(self.subdomains))
+                self._fused_batch: _FusedBatch | None = None
 
-            # optional Nicolaides coarse space: Z[:, i] = R_i^T D_i 1
-            self._coarse_z = None
-            self._coarse_solve = None
-            if coarse:
-                dtype = np.promote_types(a.dtype, np.float64)
-                z = np.zeros((self.n, len(self.subdomains)), dtype=dtype)
-                for i, (dofs, d) in enumerate(zip(self.subdomains, self.pou)):
-                    z[dofs, i] = d
-                e = z.conj().T @ (a @ z)
-                led.reduction(nbytes=e.nbytes)
-                try:
-                    e_inv = np.linalg.inv(e)
-                except np.linalg.LinAlgError:
-                    e_inv = np.linalg.pinv(e)
-                self._coarse_z = z
-                self._coarse_solve = e_inv
-                led.event("schwarz_coarse_setup")
-        self.setup_cost = led
-        ledger.current().merge(led)
+                # optional Nicolaides coarse space: Z[:, i] = R_i^T D_i 1
+                self._coarse_z = None
+                self._coarse_solve = None
+                if coarse:
+                    dtype = np.promote_types(a.dtype, np.float64)
+                    z = np.zeros((self.n, len(self.subdomains)), dtype=dtype)
+                    for i, (dofs, d) in enumerate(
+                            zip(self.subdomains, self.pou)):
+                        z[dofs, i] = d
+                    e = z.conj().T @ (a @ z)
+                    led.reduction(nbytes=e.nbytes)
+                    try:
+                        e_inv = np.linalg.inv(e)
+                    except np.linalg.LinAlgError:
+                        e_inv = np.linalg.pinv(e)
+                    self._coarse_z = z
+                    self._coarse_solve = e_inv
+                    led.event("schwarz_coarse_setup")
+            self.setup_cost = led
+            ledger.current().merge(led)
 
     # ------------------------------------------------------------------
     @property

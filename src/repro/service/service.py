@@ -36,6 +36,7 @@ import scipy.sparse as sp
 from ..krylov.base import ConvergenceHistory, Preconditioner, SolveResult
 from ..krylov.pgcrodr import PseudoBlockRecycle
 from ..krylov.recycling import RecycledSubspace
+from ..trace import tracer as trace
 from ..util import ledger
 from ..util.ledger import CostLedger
 from ..util.misc import as_block
@@ -311,26 +312,44 @@ class SolveService:
         ambient = ledger.current()
         batch_led = CostLedger()
         recycling = opts.is_recycling
-        with ledger.install(batch_led):
-            m, setup_hit = self._resolve_preconditioner(chunk[0].a, fp)
-            recycle = same_system = None
-            if recycling:
-                recycle, found = self._cached_recycle(fp, okey, p)
-                # the cache key is the *value* fingerprint, so a hit means
-                # the operator is numerically unchanged: take the paper's
-                # same-system fast path (section III-B) automatically —
-                # except for opaque operators, where equality only means
-                # object identity and in-place mutation is undetectable,
-                # so the conservative re-orthonormalization runs instead.
-                if found and not fp.opaque:
-                    same_system = True
-            res = api.solve(chunk[0].a, bmat, m, options=opts, x0=x0,
-                            recycle=recycle, same_system=same_system)
-            new_space = res.info.get("recycle")
-            if recycling and new_space is not None:
-                new_space.fingerprint = fp
-                self.cache.put(fp, _recycle_kind(okey), new_space)
-        ambient.merge(batch_led)
+        tr = trace.current()
+        # the span opens against the *ambient* ledger before the private
+        # batch ledger is installed, so its window sees exactly the merged
+        # batch total (inner solve spans record against the batch ledger
+        # and are excluded from this span's exclusive cost — see
+        # Span.exclusive)
+        with tr.span("service.batch", batch=batch_id, width=p,
+                     requests=len(chunk)):
+            with ledger.install(batch_led):
+                m, setup_hit = self._resolve_preconditioner(chunk[0].a, fp)
+                recycle = same_system = None
+                if recycling:
+                    recycle, found = self._cached_recycle(fp, okey, p)
+                    # the cache key is the *value* fingerprint, so a hit
+                    # means the operator is numerically unchanged: take the
+                    # paper's same-system fast path (section III-B)
+                    # automatically — except for opaque operators, where
+                    # equality only means object identity and in-place
+                    # mutation is undetectable, so the conservative
+                    # re-orthonormalization runs instead.
+                    if found and not fp.opaque:
+                        same_system = True
+                res = api.solve(chunk[0].a, bmat, m, options=opts, x0=x0,
+                                recycle=recycle, same_system=same_system)
+                new_space = res.info.get("recycle")
+                if recycling and new_space is not None:
+                    new_space.fingerprint = fp
+                    self.cache.put(fp, _recycle_kind(okey), new_space)
+            ambient.merge(batch_led)
+        tr.metrics.histogram("service_batch_occupancy").observe(p)
+        tr.metrics.counter("service_requests_total").inc(len(chunk))
+        tr.metrics.counter("service_batches_total").inc()
+        if setup_hit is not None:
+            tr.metrics.counter("service_setup_cache_total").inc(
+                outcome="hit" if setup_hit else "miss")
+        if recycling:
+            tr.metrics.counter("service_recycle_cache_total").inc(
+                outcome="hit" if same_system else "miss")
 
         self._scatter(chunk, res, batch_led, batch_id=batch_id, p=p,
                       setup_hit=setup_hit,

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..trace import tracer as trace
 from ..util import ledger
 from ..util.execmode import exec_mode
 from .grid import VirtualGrid
@@ -37,14 +38,15 @@ def allreduce_sum(grid: VirtualGrid, contributions: list[np.ndarray]) -> np.ndar
     """
     if len(contributions) != grid.nranks:
         raise ValueError(f"expected {grid.nranks} contributions, got {len(contributions)}")
-    if exec_mode() == "fused" and len(contributions) > 1:
-        first = np.asarray(contributions[0])
-        out = np.stack(contributions).sum(axis=0, dtype=first.dtype)
-    else:
-        out = np.zeros_like(contributions[0])
-        for c in contributions:
-            out += c
-    ledger.current().reduction(nbytes=out.nbytes)
+    with trace.current().detail_span("simmpi.allreduce_sum"):
+        if exec_mode() == "fused" and len(contributions) > 1:
+            first = np.asarray(contributions[0])
+            out = np.stack(contributions).sum(axis=0, dtype=first.dtype)
+        else:
+            out = np.zeros_like(contributions[0])
+            for c in contributions:
+                out += c
+        ledger.current().reduction(nbytes=out.nbytes)
     return out
 
 
@@ -56,36 +58,41 @@ def allgather_rows(grid: VirtualGrid, locals_: list[np.ndarray]) -> np.ndarray:
     """
     if len(locals_) != grid.nranks:
         raise ValueError(f"expected {grid.nranks} blocks, got {len(locals_)}")
-    out = np.concatenate(locals_, axis=0)
-    p = grid.nranks
-    if p > 1:
-        ledger.current().p2p(messages=p * (p - 1),
-                             nbytes=(p - 1) * out.nbytes)
+    with trace.current().detail_span("simmpi.allgather_rows"):
+        out = np.concatenate(locals_, axis=0)
+        p = grid.nranks
+        if p > 1:
+            ledger.current().p2p(messages=p * (p - 1),
+                                 nbytes=(p - 1) * out.nbytes)
     return out
 
 
 def dot_columns(grid: VirtualGrid, x: np.ndarray, y: np.ndarray) -> np.ndarray:
     """Column-wise inner products: one fused einsum or rank-by-rank parts."""
     if exec_mode() == "fused":
-        out = np.einsum("ij,ij->j", x.conj(), y)
-        ledger.current().reduction(nbytes=out.nbytes)
+        with trace.current().detail_span("simmpi.dot_columns"):
+            out = np.einsum("ij,ij->j", x.conj(), y)
+            ledger.current().reduction(nbytes=out.nbytes)
         return out
-    parts = []
-    for r in range(grid.nranks):
-        rows = grid.rows(r)
-        parts.append(np.einsum("ij,ij->j", x[rows].conj(), y[rows]))
-    return allreduce_sum(grid, parts)
+    with trace.current().detail_span("simmpi.dot_columns"):
+        parts = []
+        for r in range(grid.nranks):
+            rows = grid.rows(r)
+            parts.append(np.einsum("ij,ij->j", x[rows].conj(), y[rows]))
+        return allreduce_sum(grid, parts)
 
 
 def norm_columns(grid: VirtualGrid, x: np.ndarray) -> np.ndarray:
     """Column 2-norms via one all-reduce of the squared partial sums."""
     if exec_mode() == "fused":
-        sq = np.einsum("ij,ij->j", x.conj(), x).real
-        ledger.current().reduction(nbytes=sq.nbytes)
+        with trace.current().detail_span("simmpi.norm_columns"):
+            sq = np.einsum("ij,ij->j", x.conj(), x).real
+            ledger.current().reduction(nbytes=sq.nbytes)
         return np.sqrt(sq)
-    parts = []
-    for r in range(grid.nranks):
-        rows = grid.rows(r)
-        xr = x[rows]
-        parts.append(np.einsum("ij,ij->j", xr.conj(), xr).real)
-    return np.sqrt(allreduce_sum(grid, parts))
+    with trace.current().detail_span("simmpi.norm_columns"):
+        parts = []
+        for r in range(grid.nranks):
+            rows = grid.rows(r)
+            xr = x[rows]
+            parts.append(np.einsum("ij,ij->j", xr.conj(), xr).real)
+        return np.sqrt(allreduce_sum(grid, parts))

@@ -1,0 +1,125 @@
+"""Trace exports: Chrome ``trace_event`` JSON and count signatures.
+
+The Chrome export (load it at ``chrome://tracing`` or https://ui.perfetto.dev)
+renders the span tree as nested complete events (``"ph": "X"``).  All
+timestamps are **modeled**: each span's duration is the
+:func:`repro.perfmodel.modeled_time` of its exclusive ledger window on a
+target machine, children are laid out sequentially inside their parent,
+and the parent closes after its own exclusive tail.  No wall clock is ever
+read, so the export is bit-for-bit reproducible — a property the
+determinism CI stage asserts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from ..perfmodel.estimate import modeled_time
+from ..perfmodel.machine import CURIE, MachineModel
+from ..util.ledger import CostLedger
+from .tracer import Span, Tracer
+
+__all__ = ["chrome_trace", "chrome_trace_json", "counts_signature",
+           "modeled_span_seconds"]
+
+
+def counts_signature(led: CostLedger) -> tuple:
+    """:meth:`CostLedger.counts` with exact zero entries dropped.
+
+    ``Counter.subtract`` (used by ``diff`` and the spans' exclusive-cost
+    arithmetic) leaves explicit zero-valued keys behind; two ledgers that
+    charged the same events must compare equal regardless, so conservation
+    checks are stated over this normalized form.
+    """
+    red, red_b, p2p_m, p2p_b, flops, calls = led.counts()
+    return (red, red_b, p2p_m, p2p_b,
+            {k: v for k, v in sorted(flops.items()) if v != 0},
+            {k: v for k, v in sorted(calls.items()) if v != 0})
+
+
+def modeled_span_seconds(span: Span, *, nranks: int = 64,
+                         machine: MachineModel = CURIE,
+                         block_width: int = 1) -> float:
+    """Modeled seconds of the span's *window* (exclusive + children).
+
+    Computed recursively as ``modeled(exclusive) + sum(children)`` rather
+    than ``modeled(window)`` directly: the reduction term of the machine
+    model uses the *average* payload per reduction, which is not additive
+    across phases — the recursive form guarantees children always fit
+    inside their parent in the rendered trace.
+    """
+    total = modeled_time(span.exclusive(), nranks, machine=machine,
+                         block_width=block_width).total
+    for child in span.children:
+        total += modeled_span_seconds(child, nranks=nranks, machine=machine,
+                                      block_width=block_width)
+    return total
+
+
+def _emit(span: Span, t0_us: float, events: list[dict[str, Any]], *,
+          nranks: int, machine: MachineModel, block_width: int) -> float:
+    dur = modeled_span_seconds(span, nranks=nranks, machine=machine,
+                               block_width=block_width) * 1e6
+    excl = span.exclusive()
+    events.append({
+        "name": span.name,
+        "ph": "X",
+        "ts": round(t0_us, 6),
+        "dur": round(dur, 6),
+        "pid": 1,
+        "tid": 1,
+        "args": {
+            **span.attrs,
+            "reductions": excl.reductions,
+            "reduction_bytes": excl.reduction_bytes,
+            "p2p_messages": excl.p2p_messages,
+            "flops": excl.total_flops(),
+        },
+    })
+    t_child = t0_us
+    for child in span.children:
+        t_child = _emit(child, t_child, events, nranks=nranks,
+                        machine=machine, block_width=block_width)
+    return t0_us + dur
+
+
+def chrome_trace(roots: "Iterable[Span] | Tracer", *, nranks: int = 64,
+                 machine: MachineModel = CURIE,
+                 block_width: int = 1) -> dict[str, Any]:
+    """Chrome ``trace_event`` document for a span forest (or a tracer).
+
+    >>> from repro.trace import Tracer
+    >>> tr = Tracer()
+    >>> with tr.span("solve"):
+    ...     with tr.span("cycle"):
+    ...         pass
+    >>> doc = chrome_trace(tr)
+    >>> [e["name"] for e in doc["traceEvents"]]
+    ['solve', 'cycle']
+    """
+    if isinstance(roots, Tracer):
+        roots = roots.roots
+    events: list[dict[str, Any]] = []
+    t0 = 0.0
+    for root in roots:
+        t0 = _emit(root, t0, events, nranks=nranks, machine=machine,
+                   block_width=block_width)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.trace (modeled time, no wall clock)",
+            "machine": machine.name,
+            "nranks": nranks,
+        },
+    }
+
+
+def chrome_trace_json(roots: "Iterable[Span] | Tracer", *, nranks: int = 64,
+                      machine: MachineModel = CURIE,
+                      block_width: int = 1) -> str:
+    """The :func:`chrome_trace` document serialized with sorted keys."""
+    return json.dumps(chrome_trace(roots, nranks=nranks, machine=machine,
+                                   block_width=block_width),
+                      indent=2, sort_keys=True)

@@ -1,0 +1,239 @@
+"""Trace-based reduction-shape gate (the CI ``trace-gate`` stage).
+
+The paper's central scalability claim is a *shape* statement about
+communication: GMRES(m) pays one global reduction per Arnoldi step (``m``
+per cycle with a one-reduction scheme), while GCRO-DR(m, k) on the
+same-system fast path pays ``2(m-k)`` per cycle — fewer, non-variable, and
+independent of the recycle update machinery.  The gate re-derives those
+numbers **from exported trace spans** rather than from the solvers'
+bookkeeping, so a regression in either the solvers, the orthogonalization
+engines, or the tracer's cost attribution trips it.
+
+Checks (all from span trees produced by real solves):
+
+* GMRES + ``sketched``: every full cycle has exactly ``m`` ``arnoldi_step``
+  spans and their reductions sum to exactly ``m`` (one per step).
+* GCRO-DR + ``cgs2_1r`` + ``same_system``: every full cycle has ``m - k``
+  steps summing to exactly ``2 (m - k)`` reductions, the per-cycle count
+  never varies across cycles, and no ``recycle_update`` span appears.
+* ``cgs2_1r`` low-synchronization bound: **every** ``arnoldi_step`` span
+  carries at most 2 reductions, recycling included.
+* Conservation: the per-span exclusive costs sum bit-for-bit to the root
+  span's ledger window (checked via :func:`counts_signature`, so flops,
+  p2p and event counts are included — not just reductions).
+
+Everything runs under both execution modes (``fused`` / ``per_rank``); the
+ledger counts are bit-identical by construction and the gate would catch a
+divergence.  No service is involved: conservation is a *per-ledger*
+statement and the service's batch ledger would mix two ledgers in one tree.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..util import ledger
+from ..util.ledger import CostLedger
+from ..util.options import Options
+from .export import counts_signature
+from .tracer import Span, Tracer, install
+
+__all__ = ["GateError", "check_conservation", "check_gcrodr_shape",
+           "check_gmres_shape", "check_step_reduction_bound", "run_gate"]
+
+
+class GateError(AssertionError):
+    """A trace-gate assertion failed (subclass of AssertionError so the
+    gate composes with pytest and plain ``assert``-style CI runners)."""
+
+
+def _steps(cycle: Span) -> list[Span]:
+    return cycle.find("arnoldi_step")
+
+
+def check_gmres_shape(root: Span, m: int) -> dict[str, Any]:
+    """Every full GMRES cycle: exactly ``m`` steps, ``m`` reductions.
+
+    The last cycle of a solve may be short (convergence mid-cycle); it must
+    still pay exactly one reduction per step it ran.
+    """
+    cycles = root.find("cycle")
+    if not cycles:
+        raise GateError("gmres trace has no cycle spans")
+    full = 0
+    for cyc in cycles:
+        steps = _steps(cyc)
+        reds = sum(s.cost.reductions for s in steps)
+        if reds != len(steps):
+            raise GateError(
+                f"gmres cycle {cyc.attrs.get('index')}: {len(steps)} steps "
+                f"but {reds} reductions (expected one per step)")
+        if len(steps) == m:
+            full += 1
+            if reds != m:
+                raise GateError(
+                    f"gmres full cycle {cyc.attrs.get('index')}: expected "
+                    f"exactly {m} reductions, got {reds}")
+    if full == 0:
+        raise GateError(f"gmres trace has no full m={m} cycle to check")
+    return {"cycles": len(cycles), "full_cycles": full,
+            "reductions_per_full_cycle": m}
+
+
+def check_gcrodr_shape(root: Span, m: int, k: int) -> dict[str, Any]:
+    """Same-system GCRO-DR cycles: ``m - k`` steps, ``2 (m - k)``
+    reductions, a per-cycle count that never varies, and zero
+    ``recycle_update`` spans."""
+    updates = root.find("recycle_update")
+    if updates:
+        raise GateError(
+            f"same-system GCRO-DR trace contains {len(updates)} "
+            f"recycle_update span(s); the fast path must not update")
+    cycles = [c for c in root.find("cycle")
+              if c.attrs.get("kind") == "gcrodr"]
+    if not cycles:
+        raise GateError("gcrodr trace has no recycled cycle spans")
+    per_full_cycle: set[int] = set()
+    full = 0
+    for cyc in cycles:
+        steps = _steps(cyc)
+        reds = sum(s.cost.reductions for s in steps)
+        if reds != 2 * len(steps):
+            raise GateError(
+                f"gcrodr cycle {cyc.attrs.get('index')}: {len(steps)} steps "
+                f"but {reds} reductions (expected 2 per step with cgs2_1r)")
+        if len(steps) == m - k:
+            full += 1
+            per_full_cycle.add(reds)
+    if full == 0:
+        raise GateError(
+            f"gcrodr trace has no full (m-k)={m - k}-step cycle to check")
+    if per_full_cycle != {2 * (m - k)}:
+        raise GateError(
+            f"gcrodr full-cycle reduction count is variable or wrong: "
+            f"{sorted(per_full_cycle)} (expected exactly {{{2 * (m - k)}}})")
+    return {"cycles": len(cycles), "full_cycles": full,
+            "reductions_per_full_cycle": 2 * (m - k)}
+
+
+def check_step_reduction_bound(root: Span, bound: int = 2) -> dict[str, Any]:
+    """``cgs2_1r`` promise: no Arnoldi step pays more than ``bound``
+    reductions, anywhere in the tree."""
+    steps = root.find("arnoldi_step")
+    if not steps:
+        raise GateError("trace has no arnoldi_step spans")
+    worst = max(s.cost.reductions for s in steps)
+    if worst > bound:
+        raise GateError(
+            f"an arnoldi_step span pays {worst} reductions "
+            f"(low-synchronization bound is {bound})")
+    return {"steps": len(steps), "max_reductions_per_step": worst}
+
+
+def check_conservation(root: Span) -> dict[str, Any]:
+    """Per-span exclusive costs must sum back to the root window.
+
+    Every discrete counter (reductions, reduction/p2p bytes, messages,
+    per-name call counts) must match **bit-for-bit**.  Flop totals are
+    float sums re-associated by the tree walk, so they are compared to
+    within a few ULP instead (1e-12 relative) — exact equality there would
+    assert a property float addition does not have.
+
+    Valid only for trees recorded against a single ledger (no service
+    batches): spans on a different ledger are skipped by ``exclusive`` and
+    would make the sum undercount.
+    """
+    total = CostLedger()
+    for span in root.walk():
+        ex = span.exclusive()
+        if ex is not None:
+            total.merge(ex)
+    lhs, rhs = counts_signature(total), counts_signature(root.cost)
+    # counts() layout: (reductions, reduction_bytes, p2p_messages,
+    # p2p_bytes, flops-dict, calls-dict) with flops at index 4
+    lhs_flops, rhs_flops = lhs[4], rhs[4]
+    if lhs[:4] + lhs[5:] != rhs[:4] + rhs[5:]:
+        raise GateError(
+            f"span cost attribution is not conservative:\n"
+            f"  sum of exclusives: {lhs}\n  root window:       {rhs}")
+    if set(lhs_flops) != set(rhs_flops) or any(
+            abs(lhs_flops[kern] - rhs_flops[kern])
+            > 1e-12 * max(abs(rhs_flops[kern]), 1.0)
+            for kern in rhs_flops):
+        raise GateError(
+            f"span flop attribution drifted beyond reassociation error:\n"
+            f"  sum of exclusives: {lhs_flops}\n"
+            f"  root window:       {rhs_flops}")
+    return {"entries": len(lhs)}
+
+
+# ----------------------------------------------------------------------
+def _gate_problem(n: int = 400) -> tuple[sp.csr_matrix, np.ndarray]:
+    """Deterministic, well-conditioned sparse test system."""
+    rs = np.random.RandomState(1234)
+    a = sp.random(n, n, density=0.02, random_state=rs, format="csr")
+    a = a + sp.eye(n, format="csr") * 4.0
+    rng = np.random.default_rng(1234)
+    b = rng.standard_normal((n, 3))
+    return sp.csr_matrix(a), b
+
+
+def run_gate(exec_modes: tuple[str, ...] = ("fused", "per_rank"),
+             m: int = 10, k: int = 4) -> dict[str, Any]:
+    """Run the full reduction-shape gate; returns a report dict.
+
+    Raises :class:`GateError` on the first violated invariant.
+    """
+    from .. import api   # late import: api imports this package
+
+    a, b_cols = _gate_problem()
+    report: dict[str, Any] = {"m": m, "k": k}
+    for mode in exec_modes:
+        mode_report: dict[str, Any] = {}
+
+        # --- GMRES(m) with a one-reduction scheme: m reductions/cycle ---
+        opts = Options(krylov_method="gmres", gmres_restart=m,
+                       orthogonalization="sketched", tol=1e-12, max_it=60,
+                       exec_mode=mode, trace="summary")
+        tr = Tracer(level="summary")
+        led = CostLedger()
+        with install(tr), ledger.install(led):
+            res = api.solve(a, b_cols[:, 0], options=opts)
+        ledger.current().merge(led)   # gate cost shows up in outer ledgers
+        root = tr.roots[-1]
+        mode_report["gmres"] = check_gmres_shape(root, m)
+        mode_report["gmres"]["iterations"] = res.iterations
+        check_conservation(root)
+
+        # --- GCRO-DR(m, k) same-system fast path: 2(m-k)/cycle ----------
+        opts = Options(krylov_method="gcrodr", gmres_restart=m, recycle=k,
+                       orthogonalization="cgs2_1r", tol=1e-12, max_it=90,
+                       exec_mode=mode, trace="summary")
+        tr = Tracer(level="summary")
+        led = CostLedger()
+        with install(tr), ledger.install(led):
+            first = api.solve(a, b_cols[:, 1], options=opts)
+            res = api.solve(a, b_cols[:, 2], options=opts,
+                            recycle=first.info["recycle"], same_system=True)
+        ledger.current().merge(led)
+        seed_root, root = tr.roots[-2], tr.roots[-1]
+        mode_report["gcrodr"] = check_gcrodr_shape(root, m, k)
+        mode_report["gcrodr"]["iterations"] = res.iterations
+        mode_report["cgs2_1r_bound"] = check_step_reduction_bound(root)
+        check_step_reduction_bound(seed_root)
+        check_conservation(seed_root)
+        check_conservation(root)
+
+        report[mode] = mode_report
+
+    # both modes must tell the same story
+    shapes = {mode: (report[mode]["gmres"]["reductions_per_full_cycle"],
+                     report[mode]["gcrodr"]["reductions_per_full_cycle"])
+              for mode in exec_modes}
+    if len(set(shapes.values())) > 1:
+        raise GateError(f"exec modes disagree on reduction shapes: {shapes}")
+    report["reductions_per_cycle"] = {"gmres": m, "gcrodr": 2 * (m - k)}
+    return report

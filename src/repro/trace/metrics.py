@@ -1,0 +1,194 @@
+"""Counters, gauges and histograms for the observability layer.
+
+A :class:`MetricsRegistry` is a deliberately small, dependency-free subset
+of the Prometheus client model: named counters (monotone), gauges (set to
+the latest value) and fixed-bucket histograms, each with optional label
+pairs, rendered to a flat text snapshot (one ``name{labels} value`` line
+per sample, sorted) so CI artifacts and tests can diff it directly.
+
+Nothing here reads the clock: histogram samples are iteration counts,
+reduction counts, batch occupancies and modeled seconds — all deterministic
+— so two identical runs produce byte-identical snapshots.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Iterable
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "NULL_METRICS"]
+
+
+def _labelkey(labels: dict[str, Any]) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _labelstr(key: tuple) -> str:
+    if not key:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in key) + "}"
+
+
+def _fmt(v: float) -> str:
+    f = float(v)
+    return str(int(f)) if f == int(f) else repr(f)
+
+
+class Counter:
+    """Monotone counter, one value per label set."""
+
+    def __init__(self, name: str, help_: str = ""):
+        self.name = name
+        self.help = help_
+        self._values: dict[tuple, float] = {}
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        key = _labelkey(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_labelkey(labels), 0)
+
+    def samples(self) -> Iterable[tuple[str, float]]:
+        for key in sorted(self._values):
+            yield f"{self.name}{_labelstr(key)}", self._values[key]
+
+
+class Gauge:
+    """Last-write-wins value, one per label set."""
+
+    def __init__(self, name: str, help_: str = ""):
+        self.name = name
+        self.help = help_
+        self._values: dict[tuple, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._values[_labelkey(labels)] = float(value)
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_labelkey(labels), 0.0)
+
+    def samples(self) -> Iterable[tuple[str, float]]:
+        for key in sorted(self._values):
+            yield f"{self.name}{_labelstr(key)}", self._values[key]
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum, one series per label set."""
+
+    DEFAULT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+    def __init__(self, name: str, help_: str = "",
+                 buckets: tuple[float, ...] | None = None):
+        self.name = name
+        self.help = help_
+        self.buckets = tuple(sorted(buckets or self.DEFAULT_BUCKETS))
+        self._counts: dict[tuple, list[int]] = {}
+        self._sums: dict[tuple, float] = {}
+        self._totals: dict[tuple, int] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _labelkey(labels)
+        counts = self._counts.setdefault(key, [0] * (len(self.buckets) + 1))
+        # first bucket with value <= bound; past-the-end = overflow slot
+        counts[bisect_left(self.buckets, value)] += 1
+        self._sums[key] = self._sums.get(key, 0.0) + float(value)
+        self._totals[key] = self._totals.get(key, 0) + 1
+
+    def count(self, **labels: Any) -> int:
+        return self._totals.get(_labelkey(labels), 0)
+
+    def sum(self, **labels: Any) -> float:
+        return self._sums.get(_labelkey(labels), 0.0)
+
+    def samples(self) -> Iterable[tuple[str, float]]:
+        for key in sorted(self._counts):
+            cumulative = 0
+            for i, b in enumerate(self.buckets):
+                cumulative += self._counts[key][i]
+                yield (f"{self.name}_bucket{_labelstr(key + (('le', _fmt(b)),))}",
+                       cumulative)
+            yield (f"{self.name}_bucket{_labelstr(key + (('le', '+Inf'),))}",
+                   self._totals[key])
+            yield f"{self.name}_sum{_labelstr(key)}", self._sums[key]
+            yield f"{self.name}_count{_labelstr(key)}", self._totals[key]
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry with a flat-text snapshot."""
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, cls, name: str, help_: str, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help_, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(f"metric {name!r} already registered as "
+                            f"{type(metric).__name__}")
+        return metric
+
+    def counter(self, name: str, help_: str = "") -> Counter:
+        return self._get(Counter, name, help_)
+
+    def gauge(self, name: str, help_: str = "") -> Gauge:
+        return self._get(Gauge, name, help_)
+
+    def histogram(self, name: str, help_: str = "",
+                  buckets: tuple[float, ...] | None = None) -> Histogram:
+        return self._get(Histogram, name, help_, buckets=buckets)
+
+    def snapshot(self) -> str:
+        """One sorted ``name{labels} value`` line per sample."""
+        lines = []
+        for name in sorted(self._metrics):
+            for sample, value in self._metrics[name].samples():
+                lines.append(f"{sample} {_fmt(value)}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict[str, float]:
+        return {sample: value for name in sorted(self._metrics)
+                for sample, value in self._metrics[name].samples()}
+
+
+class _NullMetric:
+    """Absorbs every mutation; returned by the null registry."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        pass
+
+    def set(self, value: float, **labels: Any) -> None:
+        pass
+
+    def observe(self, value: float, **labels: Any) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class _NullMetrics:
+    """Registry stand-in carried by the null tracer."""
+
+    def counter(self, name: str, help_: str = "") -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str, help_: str = "") -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str, help_: str = "",
+                  buckets: tuple[float, ...] | None = None) -> _NullMetric:
+        return _NULL_METRIC
+
+    def snapshot(self) -> str:
+        return ""
+
+
+NULL_METRICS = _NullMetrics()

@@ -63,6 +63,21 @@ class CostLedger:
     calls:
         Counter of high-level events (operator applications, preconditioner
         applications, restarts, ...).
+
+    Determinism invariant
+    ---------------------
+    Every field except ``timers`` is deterministic: two runs that execute
+    the same algorithm charge bit-identical values (integers, or floats
+    produced by integer-valued arithmetic below 2^53).  ``timers`` is the
+    *only* wall-clock quantity on the ledger and is therefore quarantined:
+    it never appears in :meth:`counts` (the tuple every conservation and
+    fused-vs-per-rank equivalence check is stated over), it is never split
+    by :meth:`split` (shares would not be reproducible), and the trace
+    layer zeroes it out of span costs.  ``merge`` does carry timers across
+    (summing wall-clock is still meaningful for profiling) but nothing
+    downstream may treat the result as a conserved quantity.
+    ``scripts/lint_repro.py`` enforces the containment: this module is the
+    only place under ``src/`` allowed to read the clock.
     """
 
     reductions: int = 0
@@ -72,6 +87,11 @@ class CostLedger:
     flops: Counter = field(default_factory=Counter)
     calls: Counter = field(default_factory=Counter)
     timers: dict[str, float] = field(default_factory=dict)
+
+    #: False on real ledgers; the null sink overrides it.  Callers that
+    #: need actual accounting (e.g. the trace layer) test this instead of
+    #: the private class.
+    is_null = False
 
     # -- communication ----------------------------------------------------
     def reduction(self, nbytes: int = 8, count: int = 1) -> None:
@@ -91,6 +111,12 @@ class CostLedger:
 
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:
+        """Accumulate wall-clock seconds under ``name`` (non-deterministic).
+
+        Timers are profiling garnish, excluded from :meth:`counts` and
+        :meth:`split` by the determinism invariant above — never assert on
+        them and never feed them into modeled-time or trace exports.
+        """
         t0 = time.perf_counter()
         try:
             yield
@@ -130,6 +156,12 @@ class CostLedger:
         satisfies ``merged.counts() == led.counts()`` bit-for-bit — the
         conservation property ``tests/test_service.py`` asserts.  Timers
         (wall-clock, not conserved quantities) stay on the parent.
+
+        Counter keys are visited in sorted order so the shares are
+        independent of charge arrival order: two ledgers with equal
+        ``counts()`` split into shares with identical serialized form
+        (key order included), which keeps per-request attribution
+        reproducible run-to-run.
         """
         if parts < 1:
             raise ValueError("parts must be >= 1")
@@ -145,15 +177,16 @@ class CostLedger:
                 p2p_messages=ishare(self.p2p_messages, j),
                 p2p_bytes=ishare(self.p2p_bytes, j),
             )
-            for kern, v in self.flops.items():
+            for kern in sorted(self.flops):
+                v = self.flops[kern]
                 iv = int(v)
                 part = float(ishare(iv, j))
                 if j == 0:
                     part += v - float(iv)
                 if part:
                     led.flops[kern] = part
-            for name, v in self.calls.items():
-                part = ishare(v, j)
+            for name in sorted(self.calls):
+                part = ishare(self.calls[name], j)
                 if part:
                     led.calls[name] = part
             shares.append(led)
@@ -260,6 +293,8 @@ class CostTable:
 
 class _NullLedger(CostLedger):
     """Sink that ignores everything — installed when no ledger is active."""
+
+    is_null = True
 
     def reduction(self, nbytes: int = 8, count: int = 1) -> None:  # noqa: D102
         pass

@@ -37,6 +37,7 @@ _STRATEGIES = ("A", "B")
 _TARGETS = ("smallest", "largest", "smallest_real", "largest_real")
 _VERIFY_LEVELS = ("off", "cheap", "full")
 _FLUSH_POLICIES = ("batch_full", "queue_drained", "explicit")
+_TRACE_LEVELS = ("off", "summary", "full")
 
 
 @dataclass
@@ -110,6 +111,14 @@ class Options:
         same-system skip — and distributed QR factorizations).  Violations
         raise :class:`repro.verify.InvariantViolation`.  Verification work
         is never charged to the cost ledger.
+    trace:
+        span tracing level (``-hpddm_trace``): ``"off"`` (default, the
+        null tracer — zero overhead, byte-identical ledger counts and
+        ``info``), ``"summary"`` (solver-phase spans; per-solve summary in
+        ``info["trace"]``), or ``"full"`` (additionally per-primitive
+        spans inside the simulated-MPI substrate).  An ambient tracer
+        installed via :func:`repro.trace.install` takes precedence.  See
+        ``docs/OBSERVABILITY.md``.
     service_pmax:
         maximum block width a :class:`repro.service.SolveService` batch
         may reach (``-hpddm_service_pmax``): queued requests sharing an
@@ -146,6 +155,7 @@ class Options:
     block_reduction: bool = False
     exec_mode: str | None = None
     verify: str = "off"
+    trace: str = "off"
     service_pmax: int = 16
     service_flush: str = "batch_full"
     service_cache_entries: int = 32
@@ -186,6 +196,11 @@ class Options:
         if self.verify not in _VERIFY_LEVELS:
             raise OptionError(
                 f"unknown verify level {self.verify!r}; expected one of {_VERIFY_LEVELS}"
+            )
+        if self.trace not in _TRACE_LEVELS:
+            raise OptionError(
+                f"unknown trace level {self.trace!r}; "
+                f"expected one of {_TRACE_LEVELS}"
             )
         if self.service_flush not in _FLUSH_POLICIES:
             raise OptionError(
@@ -260,6 +275,8 @@ class Options:
             args += ["-hpddm_exec_mode", self.exec_mode]
         if self.verify != "off":
             args += ["-hpddm_verify", self.verify]
+        if self.trace != "off":
+            args += ["-hpddm_trace", self.trace]
         if self.service_pmax != 16:
             args += ["-hpddm_service_pmax", str(self.service_pmax)]
         if self.service_flush != "batch_full":
