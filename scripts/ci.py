@@ -4,21 +4,25 @@
 Stages, in order:
 
 ==============  ====================================================  ======
-name            what runs                                             --fast
-==============  ====================================================  ======
-lint            ``scripts/lint_repro.py`` (determinism lint)          yes
-tier1           ``pytest -x -q`` (the tier-1 suite)                   yes
-slow            ``pytest -x -q -m slow`` (full conformance matrix)    no
-coverage        ``scripts/coverage_floor.py``                         no
-perf-gates      quick microkernel + service benches with ``--check``  yes
-                then ``scripts/bench_compare.py`` on their output
-                (regression vs the bench trajectory, which it extends)
-trace-gate      ``repro.trace.gate.run_gate()`` — reduction shapes    yes
-                from exported spans, both exec modes
-determinism     byte-identical chrome traces across repeated solves,  yes
-                fused == per_rank ledger counts, order-stable
-                ``CostLedger.split``
-==============  ====================================================  ======
+name             what runs                                            --fast
+===============  ===================================================  ======
+lint             ``scripts/lint_repro.py`` (determinism lint)         yes
+tier1            ``pytest -x -q`` (the tier-1 suite)                  yes
+slow             ``pytest -x -q -m slow`` (full conformance matrix)   no
+coverage         ``scripts/coverage_floor.py``                        no
+plan-equivalence compiled-vs-interpret execution plans: bit-identical yes
+                 ledger counts and iterates over representative
+                 solves (``cross_check_plan_modes``)
+perf-gates       quick microkernel + service benches with           yes
+                 ``--check``, then ``scripts/bench_compare.py`` on
+                 their output (regression vs the bench trajectory,
+                 which it extends)
+trace-gate       ``repro.trace.gate.run_gate()`` — reduction shapes   yes
+                 from exported spans, both exec modes
+determinism      byte-identical chrome traces across repeated         yes
+                 solves, fused == per_rank ledger counts,
+                 order-stable ``CostLedger.split``
+===============  ===================================================  ======
 
 Each stage reports wall seconds; in-process stages that solve under a
 ledger (trace-gate, determinism) also report *modeled* seconds from
@@ -42,9 +46,10 @@ import time
 
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SUMMARY = os.path.join(ROOT, "ci_summary.json")
-FAST_STAGES = ("lint", "tier1", "perf-gates", "trace-gate", "determinism")
-ALL_STAGES = ("lint", "tier1", "slow", "coverage", "perf-gates",
-              "trace-gate", "determinism")
+FAST_STAGES = ("lint", "tier1", "plan-equivalence", "perf-gates",
+               "trace-gate", "determinism")
+ALL_STAGES = ("lint", "tier1", "slow", "coverage", "plan-equivalence",
+              "perf-gates", "trace-gate", "determinism")
 
 
 def _env() -> dict[str, str]:
@@ -80,6 +85,59 @@ def stage_slow() -> dict:
 def stage_coverage() -> dict:
     return _run([sys.executable, os.path.join(ROOT, "scripts",
                                               "coverage_floor.py")])
+
+
+def stage_plan_equivalence() -> dict:
+    """Compiled plans must be bit-identical twins of the interpreter.
+
+    Runs one representative solve per compiled surface — the block cycle
+    (bgmres), the recycled block cycle (gcrodr p>1), the pseudo-block
+    column path (gmres) and the GMRES-DR arena — under both
+    ``-hpddm_plan`` modes and asserts identical ``CostLedger.counts()``
+    and bitwise-equal solutions via ``cross_check_plan_modes`` (which
+    raises on any divergence).
+    """
+    import numpy as np
+    import scipy.sparse as sp
+
+    from repro import api
+    from repro.util import ledger
+    from repro.util.ledger import CostLedger
+    from repro.util.options import Options
+    from repro.verify import cross_check_plan_modes
+
+    n = 200
+    rng = np.random.default_rng(17)
+    a = sp.diags([-1.4 * np.ones(n - 1), 4.0 * np.ones(n),
+                  -0.6 * np.ones(n - 1)], [-1, 0, 1]).tocsr()
+    m = sp.diags(1.0 / a.diagonal()).tocsr()
+    workloads = {
+        "bgmres/cgs2_1r": (Options(krylov_method="bgmres",
+                                   orthogonalization="cgs2_1r",
+                                   gmres_restart=20), 3),
+        "gcrodr/sketched": (Options(krylov_method="gcrodr", recycle=5,
+                                    orthogonalization="sketched",
+                                    gmres_restart=20), 3),
+        "gmres/cholqr2": (Options(krylov_method="gmres",
+                                  orthogonalization="cholqr2",
+                                  gmres_restart=20), 2),
+        "gmresdr/cgs2_1r": (Options(krylov_method="gmresdr", recycle=5,
+                                    orthogonalization="cgs2_1r",
+                                    gmres_restart=20), 1),
+    }
+    outer = CostLedger()
+    for what, (opts, p) in workloads.items():
+        b = np.random.default_rng(3).standard_normal((n, p))
+
+        def run(plan, opts=opts, b=b):
+            res = api.solve(a, b, m, options=opts.replace(plan=plan))
+            outer.merge(ledger.current())
+            return res
+
+        cross_check_plan_modes(run, extract=lambda r: np.asarray(r.x),
+                               what=what)
+        print(f"plan-equivalence: {what}: counts + iterates bit-identical")
+    return {"ok": True, "modeled_seconds": _modeled_seconds(outer)}
 
 
 def stage_perf_gates() -> dict:
@@ -203,6 +261,7 @@ STAGES = {
     "tier1": stage_tier1,
     "slow": stage_slow,
     "coverage": stage_coverage,
+    "plan-equivalence": stage_plan_equivalence,
     "perf-gates": stage_perf_gates,
     "trace-gate": stage_trace_gate,
     "determinism": stage_determinism,

@@ -43,11 +43,17 @@ def complete_block(q: np.ndarray, rank: int, *, against: list[np.ndarray] | None
         fill = fill + 1j * rng.standard_normal((n, p - rank))
     fill = fill.astype(q.dtype)
     stack = [q[:, :rank]] + (against or [])
-    basis = np.column_stack(stack) if stack and sum(b.shape[1] for b in stack) else None
-    if basis is not None and basis.shape[1]:
-        # the pieces are individually orthonormal but need not be mutually
-        # orthogonal; re-orthonormalize before projecting
-        basis, _ = np.linalg.qr(basis)
+    width = sum(b.shape[1] for b in stack)
+    if width:
+        if width > rank:
+            # extra blocks to project against: the pieces are individually
+            # orthonormal but need not be mutually orthogonal, so stack and
+            # re-orthonormalize before projecting
+            basis, _ = np.linalg.qr(np.column_stack(stack))
+        else:
+            # only q's own leading columns — already orthonormal; skip the
+            # redundant stack-and-re-QR
+            basis = q[:, :rank]
         fill, _ = project_out(basis, fill, scheme="imgs")
     qf, _, rk = qr_factorization(fill, "cholqr_rr")
     out = np.array(q, copy=True)
@@ -68,6 +74,7 @@ class CycleState:
     steps: int = 0
     breakdown: bool = False
     converged_early: bool = False
+    plan_stats: dict | None = None        # optimizer counters (compiled only)
 
     def v_stack(self, count: int | None = None) -> np.ndarray:
         blocks = self.v_blocks if count is None else self.v_blocks[:count]
@@ -94,6 +101,7 @@ def block_arnoldi_cycle(op_apply, inner_m, v1: np.ndarray, s1: np.ndarray, *,
                         history: ConvergenceHistory | None = None,
                         identity_m: bool = False,
                         iteration_budget: int | None = None,
+                        plan: str = "interpret",
                         ) -> CycleState:
     """Run up to ``max_steps`` block-Arnoldi iterations.
 
@@ -116,7 +124,19 @@ def block_arnoldi_cycle(op_apply, inner_m, v1: np.ndarray, s1: np.ndarray, *,
         optional convergence history to append per-iteration tail norms to.
     iteration_budget:
         remaining global iteration allowance (max_it enforcement).
+    plan:
+        ``"interpret"`` runs this loop; ``"compiled"`` lowers it to an
+        execution plan (``repro.plan``) for the low-synchronization
+        schemes — bit-identical counts and iterates, interpreter as
+        oracle.  Legacy schemes (cgs/imgs/mgs) always interpret.
     """
+    if plan == "compiled" and ortho in LOW_SYNC_SCHEMES:
+        from ..plan.block_cycle import compiled_block_arnoldi_cycle
+        return compiled_block_arnoldi_cycle(
+            op_apply, inner_m, v1, s1, max_steps=max_steps, ck=ck,
+            ortho=ortho, qr_scheme=qr_scheme, deflation_tol=deflation_tol,
+            targets=targets, history=history, identity_m=identity_m,
+            iteration_budget=iteration_budget)
     dtype = v1.dtype
     p = v1.shape[1]
     led = ledger.current()

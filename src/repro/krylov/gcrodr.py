@@ -271,7 +271,8 @@ def gcrodr(a, b, m=None, *, options: Options | None = None,
                     ortho=options.orthogonalization, qr_scheme=options.qr,
                     deflation_tol=options.deflation_tol, targets=targets,
                     history=history, identity_m=identity_m,
-                    iteration_budget=options.max_it - total_it)
+                    iteration_budget=options.max_it - total_it,
+                    plan=options.plan)
             total_it += state.steps
             cycles += 1
             breakdown_seen |= state.breakdown
@@ -337,7 +338,8 @@ def gcrodr(a, b, m=None, *, options: Options | None = None,
                     ortho=options.orthogonalization, qr_scheme=options.qr,
                     deflation_tol=options.deflation_tol, targets=targets,
                     history=history, identity_m=identity_m,
-                    iteration_budget=options.max_it - total_it)
+                    iteration_budget=options.max_it - total_it,
+                    plan=options.plan)
             total_it += state.steps
             cycles += 1
             if state.steps == 0:
@@ -364,7 +366,8 @@ def gcrodr(a, b, m=None, *, options: Options | None = None,
                     ortho=options.orthogonalization, qr_scheme=options.qr,
                     deflation_tol=options.deflation_tol, targets=targets,
                     history=history, identity_m=identity_m,
-                    iteration_budget=options.max_it - total_it)
+                    iteration_budget=options.max_it - total_it,
+                    plan=options.plan)
             total_it += state.steps
             cycles += 1
             breakdown_seen |= state.breakdown

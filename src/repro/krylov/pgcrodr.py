@@ -20,7 +20,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..la.blockqr import BlockHessenbergQR
-from ..la.orthogonalization import SCHEMES, PseudoBlockOrthogonalizer
+from ..la.orthogonalization import SCHEMES
+from ..plan.arena import AugmentedTensorArena
+from ..plan.pseudoblock import make_pseudo_block_orthogonalizer
 from ..trace import tracer as trace
 from ..util import ledger
 from ..util.ledger import Kernel
@@ -187,7 +189,27 @@ def pgcrodr(a, b, m=None, *, options: Options | None = None,
 
         beta = column_norms(r)
         led.reduction(nbytes=p * 8)
-        v = np.zeros((steps + 1, n, p), dtype=dtype)
+        # cgs2_1r folds each column's C_l into both of its fused passes by
+        # stacking the (zero-padded) recycle blocks onto the basis tensor:
+        # the C cross terms get two-pass quality and the separate projection
+        # reduction disappears — 2 reductions/step with recycling, like the
+        # block engine.  The other schemes keep the single-pass C loop
+        # (their orth_tol covers it; sketched *must*, since its sketch basis
+        # tracks only V).
+        fold_ck = (options.orthogonalization == "cgs2_1r" and not harvesting
+                   and any(col.c is not None for col in cols))
+        kmax = max((col.k for col in cols if col.c is not None), default=0) \
+            if fold_ck else 0
+        arena = None
+        if fold_ck and options.plan == "compiled":
+            # one tensor [C | V]: the per-step augmented projector becomes a
+            # contiguous prefix view instead of a concatenate copy
+            arena = AugmentedTensorArena(kmax, steps, n, p, dtype)
+            v, ck_blocks = arena.v, arena.ck
+        else:
+            v = np.zeros((steps + 1, n, p), dtype=dtype)
+            ck_blocks = np.zeros((kmax, n, p), dtype=dtype) if fold_ck \
+                else None
         z = v if identity_m else np.zeros((steps, n, p), dtype=dtype)
         for l, col in enumerate(cols):
             col.active = (not converged[l]) and beta[l] > 0
@@ -202,20 +224,7 @@ def pgcrodr(a, b, m=None, *, options: Options | None = None,
                     col.chr_prev = col.c.conj().T @ r[:, l]
         if any(col.chr_prev is not None for col in cols):
             led.reduction(nbytes=p * 8)   # fused C^H r across columns
-        # cgs2_1r folds each column's C_l into both of its fused passes by
-        # stacking the (zero-padded) recycle blocks onto the basis tensor:
-        # the C cross terms get two-pass quality and the separate projection
-        # reduction disappears — 2 reductions/step with recycling, like the
-        # block engine.  The other schemes keep the single-pass C loop
-        # (their orth_tol covers it; sketched *must*, since its sketch basis
-        # tracks only V).
-        fold_ck = (options.orthogonalization == "cgs2_1r" and not harvesting
-                   and any(col.c is not None for col in cols))
-        ck_blocks = None
-        kmax = 0
         if fold_ck:
-            kmax = max(col.k for col in cols if col.c is not None)
-            ck_blocks = np.zeros((kmax, n, p), dtype=dtype)
             for l, col in enumerate(cols):
                 if col.c is not None:
                     ck_blocks[: col.k, :, l] = col.c.T
@@ -231,8 +240,9 @@ def pgcrodr(a, b, m=None, *, options: Options | None = None,
                     v[0, :, l] -= col.c @ (col.c.conj().T @ v[0, :, l])
             led.flop(Kernel.BLAS3, 4.0 * n * kmax * p)
             led.reduction(nbytes=p * kmax * v.itemsize)
-        orth = PseudoBlockOrthogonalizer(options.orthogonalization, n=n, p=p,
-                                         dtype=dtype, max_cols=steps + 1)
+        orth = make_pseudo_block_orthogonalizer(
+            options.orthogonalization, plan=options.plan, n=n, p=p,
+            dtype=dtype, max_cols=steps + 1)
         orth.begin(v[:1])
 
         j = 0
@@ -249,8 +259,9 @@ def pgcrodr(a, b, m=None, *, options: Options | None = None,
                     w = op_apply(zj)
                     with tr.span("ortho", scheme=options.orthogonalization):
                         if fold_ck:
-                            aug = np.concatenate([ck_blocks, v[: j + 1]],
-                                                 axis=0)
+                            aug = arena.stacked(j) if arena is not None \
+                                else np.concatenate([ck_blocks, v[: j + 1]],
+                                                    axis=0)
                             w, adots, nrm = orth.step(aug, w, kmax + j)
                             dots = adots[kmax:]
                             for l, col in enumerate(cols):

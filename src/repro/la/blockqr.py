@@ -88,12 +88,15 @@ class BlockHessenbergQR:
         return self.H[j * self.p: (j + 1) * self.p, (j - 1) * self.p: j * self.p]
 
     # ------------------------------------------------------------------
-    def add_column(self, h_col: np.ndarray) -> np.ndarray:
+    def add_column(self, h_col: np.ndarray, *, charge: bool = True
+                   ) -> np.ndarray:
         """Process a new block column of the Hessenberg matrix.
 
         ``h_col`` has shape ((j+2)p, p) where ``j = self.ncols`` is the number
         of previously processed columns.  Returns the per-column least-squares
-        residual norms after including this column.
+        residual norms after including this column.  ``charge=False`` skips
+        the ledger flop accounting — used by the compiled plan path, whose
+        node replays the same total from a pre-bound table.
         """
         j = self.ncols
         p = self.p
@@ -111,12 +114,14 @@ class BlockHessenbergQR:
         for i, q2h in enumerate(self._panels):
             rows = slice(i * p, (i + 2) * p)
             work[rows] = q2h @ work[rows]
-            led.flop(Kernel.BLAS3, 2.0 * (2 * p) ** 2 * p)
+            if charge:
+                led.flop(Kernel.BLAS3, 2.0 * (2 * p) ** 2 * p)
 
         # triangularize the trailing 2p x p panel
         panel = work[j * p: (j + 2) * p]
         q2, r2 = np.linalg.qr(panel, mode="complete")
-        led.flop(Kernel.QR, 16.0 * p**3)
+        if charge:
+            led.flop(Kernel.QR, 16.0 * p**3)
         q2h = q2.conj().T
         self._panels.append(q2h)
         work[j * p: (j + 1) * p] = r2[:p]
@@ -126,7 +131,8 @@ class BlockHessenbergQR:
         # update the transformed right-hand side
         rows = slice(j * p, (j + 2) * p)
         self.g[rows] = q2h @ self.g[rows]
-        led.flop(Kernel.BLAS3, 2.0 * (2 * p) ** 2 * p)
+        if charge:
+            led.flop(Kernel.BLAS3, 2.0 * (2 * p) ** 2 * p)
 
         self.ncols = j + 1
         return self.residual_norms()

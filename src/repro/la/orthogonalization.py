@@ -142,6 +142,19 @@ def _gram(x: np.ndarray, y: np.ndarray) -> np.ndarray:
     return x.conj().T @ y
 
 
+def _chol_from_gram(x: np.ndarray, g: np.ndarray
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Uncharged CholQR back half: factorize a precomputed Gram, whiten x.
+
+    Raises :class:`numpy.linalg.LinAlgError` before any work when ``g`` is
+    numerically indefinite.  Shared with the compiled plan path
+    (``repro.plan``), whose nodes replay pre-bound charges instead.
+    """
+    r = np.linalg.cholesky(g).conj().T
+    q = sla.solve_triangular(r.T, x.T, lower=True).T
+    return q, r
+
+
 def cholqr(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Cholesky QR: ``x = Q R`` with one global reduction.
 
@@ -153,8 +166,7 @@ def cholqr(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """
     x = as_block(x)
     g = _gram(x, x)
-    r = np.linalg.cholesky(g).conj().T
-    q = sla.solve_triangular(r.T, x.T, lower=True).T
+    q, r = _chol_from_gram(x, g)
     ledger.current().flop(Kernel.BLAS3, 1.0 * x.shape[0] * x.shape[1] ** 2)
     return q, r
 
@@ -209,9 +221,26 @@ def cholqr_rr(x: np.ndarray, *, tol: float = 1e-12,
     """
     x = as_block(x)
     n, p = x.shape
-    g = _gram(x, x)
+    led = ledger.current()
+    led.flop(Kernel.BLAS3, 2.0 * n * p * p)
+    led.reduction(nbytes=p * p * x.itemsize)
+    q, r, rank = _cholqr_rr_core(x, tol=tol, scale=scale)
+    led.flop(Kernel.EIG, 9.0 * p**3)
+    if rank:
+        led.flop(Kernel.BLAS3, 2.0 * n * p * p)
+    return q, r, rank
+
+
+def _cholqr_rr_core(x: np.ndarray, *, tol: float, scale: float | None = None
+                    ) -> tuple[np.ndarray, np.ndarray, int]:
+    """Uncharged rank-revealing CholQR numerics (shared with ``repro.plan``).
+
+    ``x`` must be contiguous for bitwise parity with the interpreted path:
+    the self-Gram ``x^H x`` takes NumPy's syrk dispatch only then.
+    """
+    n, p = x.shape
+    g = x.conj().T @ x
     w, v = np.linalg.eigh(g)
-    ledger.current().flop(Kernel.EIG, 9.0 * p**3)
     w = np.maximum(w.real, 0.0)
     sig = np.sqrt(w)[::-1]           # descending singular values of x
     v = v[:, ::-1]
@@ -222,7 +251,6 @@ def cholqr_rr(x: np.ndarray, *, tol: float = 1e-12,
         return np.zeros_like(x), np.zeros((p, p), dtype=x.dtype), 0
     # x = (x v) v^H ; orthonormalize the leading rank columns of x v
     xv = x @ v
-    ledger.current().flop(Kernel.BLAS3, 2.0 * n * p * p)
     q = np.zeros_like(x)
     q[:, :rank] = xv[:, :rank] / sig[:rank]
     r = np.zeros((p, p), dtype=x.dtype)
@@ -331,21 +359,27 @@ def sketch_size(n: int, max_cols: int) -> int:
     return int(min(n, max(32, 4 * max_cols + 16)))
 
 
+def _apply_sketch_core(w: np.ndarray, s: int, seed: int) -> np.ndarray:
+    """Uncharged SRHT application (shared with ``repro.plan``)."""
+    from scipy.fft import dct
+
+    n = w.shape[0]
+    signs, rows = _srht_operator(n, s, seed)
+    y = dct(signs[:, None] * w, axis=0, norm="ortho", type=2)
+    return np.ascontiguousarray(y[rows]) * np.sqrt(n / s)
+
+
 def apply_sketch(w: np.ndarray, s: int, *, seed: int = 0) -> np.ndarray:
     """``S @ w`` for the seeded SRHT ``S = sqrt(n/s) P H D`` (s x p result).
 
     Local work only (flops are charged here); the caller charges the one
     global reduction that assembles the s x p sketched block.
     """
-    from scipy.fft import dct
-
     w = as_block(w)
     n, p = w.shape
-    signs, rows = _srht_operator(n, s, seed)
-    y = dct(signs[:, None] * w, axis=0, norm="ortho", type=2)
     ledger.current().flop(
         Kernel.BLAS3, 2.0 * n * np.log2(max(n, 2)) * max(p, 1))
-    return np.ascontiguousarray(y[rows]) * np.sqrt(n / s)
+    return _apply_sketch_core(w, s, seed)
 
 
 def sketched_qr(x: np.ndarray, *, tol: float = 1e-12,
@@ -619,20 +653,30 @@ def arnoldi_orthogonalize(basis_blocks: np.ndarray, w: np.ndarray, *,
 # ---------------------------------------------------------------------------
 
 
-def _chol_normalize(w2: np.ndarray, gram: np.ndarray, *, shift: bool
-                    ) -> tuple[np.ndarray, np.ndarray]:
-    """q, r from a precomputed (downdated) remainder Gram — no reduction."""
+def _chol_normalize_core(w2: np.ndarray, gram: np.ndarray, *, shift: bool
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    """Uncharged Cholesky normalizer from a precomputed remainder Gram.
+
+    Raises :class:`numpy.linalg.LinAlgError` before any work on an
+    indefinite Gram.  Shared with the compiled plan path.
+    """
     p = gram.shape[0]
-    led = ledger.current()
     g = gram
     if shift:
         n = w2.shape[0]
         u = np.finfo(w2.dtype).eps
         g = g + (11.0 * (n * p + p * (p + 1)) * u *
                  float(np.trace(g).real)) * np.eye(p, dtype=g.dtype)
-    r = np.linalg.cholesky(g).conj().T
+    return _chol_from_gram(w2, g)
+
+
+def _chol_normalize(w2: np.ndarray, gram: np.ndarray, *, shift: bool
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """q, r from a precomputed (downdated) remainder Gram — no reduction."""
+    p = gram.shape[0]
+    q, r = _chol_normalize_core(w2, gram, shift=shift)
+    led = ledger.current()
     led.flop(Kernel.FACTORIZATION, p**3 / 3.0)
-    q = sla.solve_triangular(r.T, w2.T, lower=True).T
     led.flop(Kernel.BLAS3, 1.0 * w2.shape[0] * p**2)
     return q, r
 
@@ -844,6 +888,94 @@ def make_arnoldi_engine(scheme: str, *, tol: float = 1e-12,
     return _ENGINES[scheme](tol=tol, max_cols=max_cols, seed=seed)
 
 
+# ---------------------------------------------------------------------------
+# Pseudo-block per-step cores: the pure numerics of every scheme, with no
+# ledger access.  The interpreting PseudoBlockOrthogonalizer calls a core
+# and derives its charges per call; the compiled plan path
+# (repro.plan.pseudoblock) calls the *same* core and replays a pre-bound
+# charge table — bit-identical numerics and counts by construction.
+# ---------------------------------------------------------------------------
+
+
+def _pb_step_mgs(basis: np.ndarray, w: np.ndarray
+                 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    w2 = np.array(w, copy=True)
+    dots = np.zeros((basis.shape[0], w.shape[1]), dtype=w.dtype)
+    for i in range(basis.shape[0]):
+        c = np.einsum("np,np->p", basis[i].conj(), w2)
+        w2 = w2 - basis[i] * c
+        dots[i] = c
+    return w2, dots, column_norms(w2)
+
+
+def _pb_step_cgs(basis: np.ndarray, w: np.ndarray, *, iterated: bool
+                 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    dots = np.einsum("inp,np->ip", basis.conj(), w)
+    w2 = w - np.einsum("inp,ip->np", basis, dots)
+    if iterated:
+        d2 = np.einsum("inp,np->ip", basis.conj(), w2)
+        w2 = w2 - np.einsum("inp,ip->np", basis, d2)
+        dots = dots + d2
+    return w2, dots, column_norms(w2)
+
+
+def _pb_step_cgs2_1r(basis: np.ndarray, w: np.ndarray
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Two fused passes + Pythagorean norm downdate; returns the count of
+    columns whose norm had to be honestly recomputed (cancellation guard)
+    so the caller can charge the extra reduction."""
+    d1 = np.einsum("inp,np->ip", basis.conj(), w)
+    w1 = w - np.einsum("inp,ip->np", basis, d1)
+    d2 = np.einsum("inp,np->ip", basis.conj(), w1)
+    w1sq = np.einsum("np,np->p", w1.conj(), w1).real
+    w2 = w1 - np.einsum("inp,ip->np", basis, d2)
+    dots = d1 + d2
+    nrm2 = w1sq - np.einsum("ip,ip->p", d2.conj(), d2).real
+    nrm = np.sqrt(np.maximum(nrm2, 0.0))
+    bad = (nrm2 < 0.25 * w1sq) & (w1sq > 0)
+    nbad = int(np.count_nonzero(bad))
+    if nbad:
+        nrm = np.where(bad, column_norms(w2), nrm)
+    return w2, dots, nrm, nbad
+
+
+def _pb_step_sketched(qs: np.ndarray, t0: np.ndarray, basis: np.ndarray,
+                      w: np.ndarray, sw: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                 np.ndarray]:
+    """Sketch-space projection and residual; ``sw`` is the pre-sketched
+    candidate.  Returns ``(w2, y, nrm, rs)`` with ``rs`` the sketch
+    residual the caller stages for :meth:`commit`."""
+    c = np.einsum("isp,sp->ip", qs.conj(), sw)           # local
+    y = c.copy()
+    w0 = t0.shape[0]
+    j1 = qs.shape[0]
+    for l in range(w.shape[1]):                          # whiten leading block
+        t = t0[:min(w0, j1), :min(w0, j1), l]
+        # a singular whitener marks a dead bundle column (zero initial
+        # vector, e.g. an already-converged pseudo-block column): its
+        # sketch coefficients are zero, so skip the solve
+        if t.shape[0] and np.all(np.abs(np.diag(t)) > 0):
+            y[:t.shape[0], l] = sla.solve_triangular(t, c[:t.shape[0], l])
+    w2 = w - np.einsum("inp,ip->np", basis, y)
+    rs = sw - np.einsum("isp,ip->sp", qs, c)
+    nrm = np.sqrt(np.einsum("sp,sp->p", rs.conj(), rs).real)
+    return w2, y, nrm, rs
+
+
+def _pb_begin_sketched(sv: np.ndarray, max_cols: int, dtype: np.dtype
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    """Per-column QR of the pre-sketched ``(s, w0, p)`` initial basis."""
+    s, w0, p = sv.shape
+    qs = np.zeros((max_cols, s, p), dtype=dtype)
+    t0 = np.zeros((w0, w0, p), dtype=dtype)
+    for l in range(p):
+        q, t = np.linalg.qr(sv[:, :, l])
+        qs[:w0, :, l] = q.T
+        t0[:, :, l] = t
+    return qs, t0
+
+
 class PseudoBlockOrthogonalizer:
     """Fused per-column Arnoldi orthogonalization for the pseudo-block
     solvers (gmres / pgcrodr / gmresdr).
@@ -894,12 +1026,8 @@ class PseudoBlockOrthogonalizer:
         led.reduction(nbytes=self.s * w0 * p * self.dtype.itemsize)
         sv = apply_sketch(v0.transpose(1, 0, 2).reshape(n, w0 * p),
                           self.s, seed=self.seed).reshape(self.s, w0, p)
-        self._qs = np.zeros((self._max_cols, self.s, p), dtype=self.dtype)
-        self._t0 = np.zeros((w0, w0, p), dtype=self.dtype)
-        for l in range(p):
-            qs, t0 = np.linalg.qr(sv[:, :, l])
-            self._qs[:w0, :, l] = qs.T
-            self._t0[:, :, l] = t0
+        self._qs, self._t0 = _pb_begin_sketched(sv, self._max_cols,
+                                                self.dtype)
         led.flop(Kernel.QR, 4.0 * self.s * w0**2 * p)
         self._cols = w0
         self._pending = None
@@ -932,71 +1060,36 @@ class PseudoBlockOrthogonalizer:
         led = ledger.current()
         n, p = w.shape
         if self.scheme == "mgs":
-            w2 = np.array(w, copy=True)
-            dots = np.zeros((j + 1, p), dtype=w.dtype)
-            for i in range(j + 1):
-                c = np.einsum("np,np->p", basis[i].conj(), w2)
-                led.reduction(nbytes=p * w.itemsize)
-                led.flop(Kernel.BLAS2, 4.0 * n * p)
-                w2 = w2 - basis[i] * c
-                dots[i] = c
-            nrm = column_norms(w2)
+            w2, dots, nrm = _pb_step_mgs(basis, w)
+            led.reduction(nbytes=p * w.itemsize, count=j + 1)
+            led.flop(Kernel.BLAS2, 4.0 * n * p * (j + 1))
             led.reduction(nbytes=p * 8)
             return w2, dots, nrm
         if self.scheme in ("cgs", "imgs", "cholqr2"):
-            dots = np.einsum("inp,np->ip", basis.conj(), w)
-            led.reduction(nbytes=(j + 1) * p * w.itemsize)
-            led.flop(Kernel.BLAS3, 4.0 * (j + 1) * n * p)
-            w2 = w - np.einsum("inp,ip->np", basis, dots)
-            if self.scheme == "imgs":
-                d2 = np.einsum("inp,np->ip", basis.conj(), w2)
-                led.reduction(nbytes=(j + 1) * p * w.itemsize)
-                led.flop(Kernel.BLAS3, 4.0 * (j + 1) * n * p)
-                w2 = w2 - np.einsum("inp,ip->np", basis, d2)
-                dots = dots + d2
-            nrm = column_norms(w2)
+            w2, dots, nrm = _pb_step_cgs(basis, w,
+                                         iterated=self.scheme == "imgs")
+            passes = 2 if self.scheme == "imgs" else 1
+            led.reduction(nbytes=(j + 1) * p * w.itemsize, count=passes)
+            led.flop(Kernel.BLAS3, 4.0 * (j + 1) * n * p * passes)
             led.reduction(nbytes=p * 8)
             return w2, dots, nrm
         if self.scheme == "cgs2_1r":
-            # pass 1: dots stacked with the column masses of w
-            d1 = np.einsum("inp,np->ip", basis.conj(), w)
-            led.reduction(nbytes=((j + 1) * p + p) * w.itemsize)
-            led.flop(Kernel.BLAS3, 4.0 * (j + 1) * n * p + 2.0 * n * p)
-            w1 = w - np.einsum("inp,ip->np", basis, d1)
-            # pass 2 (delayed reorth): correction stacked with |w1| masses
-            d2 = np.einsum("inp,np->ip", basis.conj(), w1)
-            w1sq = np.einsum("np,np->p", w1.conj(), w1).real
-            led.reduction(nbytes=((j + 1) * p + p) * w.itemsize)
-            led.flop(Kernel.BLAS3, 4.0 * (j + 1) * n * p + 2.0 * n * p)
-            w2 = w1 - np.einsum("inp,ip->np", basis, d2)
-            dots = d1 + d2
-            nrm2 = w1sq - np.einsum("ip,ip->p", d2.conj(), d2).real
-            nrm = np.sqrt(np.maximum(nrm2, 0.0))
-            # cancellation guard: the second pass removes a tiny correction,
-            # so nrm2 ~ w1sq; a large drop means the downdate cancelled —
-            # recompute those columns honestly (rare: near-breakdown only).
-            bad = (nrm2 < 0.25 * w1sq) & (w1sq > 0)
-            if np.any(bad):
-                led.reduction(nbytes=int(np.count_nonzero(bad)) * 8)
-                nrm = np.where(bad, column_norms(w2), nrm)
+            # two fused passes: dots stacked with the column masses, the
+            # final norm by Pythagorean downdate; the cancellation guard's
+            # honest recompute (rare: near-breakdown only) costs one extra
+            # reduction carrying a scalar per affected column.
+            w2, dots, nrm, nbad = _pb_step_cgs2_1r(basis, w)
+            led.reduction(nbytes=((j + 1) * p + p) * w.itemsize, count=2)
+            led.flop(Kernel.BLAS3,
+                     (4.0 * (j + 1) * n * p + 2.0 * n * p) * 2)
+            if nbad:
+                led.reduction(nbytes=nbad * 8)
             return w2, dots, nrm
         # sketched: ONE reduction (the sketched candidate)
         led.reduction(nbytes=self.s * p * self.dtype.itemsize)
         sw = apply_sketch(w, self.s, seed=self.seed)
-        qs = self._qs[:j + 1]                            # (j+1, s, p)
-        c = np.einsum("isp,sp->ip", qs.conj(), sw)       # local
-        y = c.copy()
-        w0 = self._t0.shape[0]
-        for l in range(p):                               # whiten leading block
-            t0 = self._t0[:min(w0, j + 1), :min(w0, j + 1), l]
-            # a singular whitener marks a dead bundle column (zero initial
-            # vector, e.g. an already-converged pseudo-block column): its
-            # sketch coefficients are zero, so skip the solve
-            if t0.shape[0] and np.all(np.abs(np.diag(t0)) > 0):
-                y[:t0.shape[0], l] = sla.solve_triangular(t0, c[:t0.shape[0], l])
-        w2 = w - np.einsum("inp,ip->np", basis, y)
+        w2, y, nrm, rs = _pb_step_sketched(self._qs[:j + 1], self._t0,
+                                           basis, w, sw)
         led.flop(Kernel.BLAS3, 4.0 * (j + 1) * n * p)
-        rs = sw - np.einsum("isp,ip->sp", qs, c)
-        nrm = np.sqrt(np.einsum("sp,sp->p", rs.conj(), rs).real)
         self._pending = (rs, nrm)
         return w2, y, nrm

@@ -1,0 +1,150 @@
+"""Single-allocation basis arenas for the compiled hot path.
+
+The interpreted cycle stores the Krylov basis as a Python list of per-step
+blocks and re-materializes the stacked basis with ``np.concatenate`` /
+``np.column_stack`` on every orthogonalization step — an O(n·cols) copy per
+step that dominates wall-clock once the charged kernels are cheap table
+replays.  The arenas here preallocate one slab for the whole cycle and
+hand out *views*: advancing a step is a pointer bump, and the stacked
+basis is a zero-copy slice.
+
+Bitwise parity caveat: NumPy dispatches BLAS ``syrk`` for a detected
+self-product ``x.conj().T @ x`` only when ``x`` is one contiguous array,
+so a self-gram taken on a strided slab view can differ in the last ulp
+from the interpreter's (which grams a fresh contiguous block).  Every
+self-product site in the compiled path must therefore materialize
+``np.ascontiguousarray`` of the p-column block first; plain GEMMs
+(``A.conj().T @ B`` with distinct operands, ``A @ C``) are bit-identical
+on strided views and need no copy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "BasisArena",
+    "SketchArena",
+    "AugmentedTensorArena",
+    "TransposedBasisArena",
+]
+
+
+class BasisArena:
+    """Preallocated ``n x (k + (max_steps+1)p + p)`` slab for V (+ ck).
+
+    Column layout: ``[ck | V_0 | V_1 | ... | slot]`` where ``cols`` counts
+    the committed columns (including the k recycle columns) and ``slot``
+    is the p-column scratch region the step under construction writes into.
+    """
+
+    def __init__(self, n: int, p: int, k: int, max_steps: int,
+                 dtype: np.dtype) -> None:
+        self.n = n
+        self.p = p
+        self.k = k
+        self.slab = np.zeros((n, k + (max_steps + 1) * p + p), dtype=dtype,
+                             order="C")
+        self.cols = 0
+
+    def bind(self, v1: np.ndarray, ck: np.ndarray | None) -> None:
+        """Copy the starting block (and recycle basis) into the slab."""
+        if ck is not None:
+            self.slab[:, :self.k] = ck
+            self.cols = self.k
+        self.slab[:, self.cols:self.cols + self.p] = v1
+        self.cols += self.p
+
+    def basis(self) -> np.ndarray:
+        """View of the committed columns ``[ck | V_0..V_{j}]``."""
+        return self.slab[:, :self.cols]
+
+    def stacked(self) -> np.ndarray:
+        """View of committed columns plus the in-flight slot."""
+        return self.slab[:, :self.cols + self.p]
+
+    def slot(self) -> np.ndarray:
+        """The p-column scratch block of the step under construction."""
+        return self.slab[:, self.cols:self.cols + self.p]
+
+    def advance(self) -> None:
+        """Commit the slot as the next basis block (pointer bump only)."""
+        self.cols += self.p
+
+    def block(self, j: int) -> np.ndarray:
+        """View of committed block ``V_j`` (past the k recycle columns)."""
+        lo = self.k + j * self.p
+        return self.slab[:, lo:lo + self.p]
+
+    def v_blocks(self, nblocks: int) -> list[np.ndarray]:
+        return [self.block(j) for j in range(nblocks)]
+
+
+class SketchArena:
+    """Preallocated ``s x max_cols`` slab for the sketched basis Q_s."""
+
+    def __init__(self, s: int, max_cols: int, dtype: np.dtype) -> None:
+        self.slab = np.zeros((s, max_cols), dtype=dtype, order="C")
+        self.cols = 0
+
+    def seed(self, qs: np.ndarray) -> None:
+        self.slab[:, :qs.shape[1]] = qs
+        self.cols = qs.shape[1]
+
+    def view(self) -> np.ndarray:
+        return self.slab[:, :self.cols]
+
+    def append(self, qn: np.ndarray) -> None:
+        self.slab[:, self.cols:self.cols + qn.shape[1]] = qn
+        self.cols += qn.shape[1]
+
+
+class AugmentedTensorArena:
+    """Preallocated ``(kmax + steps + 1, n, p)`` tensor ``[C_k | V]``.
+
+    Replaces pgcrodr's per-step ``np.concatenate([ck_blocks, v[:j+1]])``
+    (an O(n·cols) copy every step) with a prefix view of one tensor.
+    """
+
+    def __init__(self, kmax: int, steps: int, n: int, p: int,
+                 dtype: np.dtype) -> None:
+        self.kmax = kmax
+        self.aug = np.zeros((kmax + steps + 1, n, p), dtype=dtype)
+
+    @property
+    def ck(self) -> np.ndarray:
+        return self.aug[:self.kmax]
+
+    @property
+    def v(self) -> np.ndarray:
+        return self.aug[self.kmax:]
+
+    def stacked(self, j: int) -> np.ndarray:
+        """View ``[C_k | V_0..V_j]`` for the step-``j`` projection."""
+        return self.aug[:self.kmax + j + 1]
+
+
+class TransposedBasisArena:
+    """Preallocated ``(max_cols, n, 1)`` transposed basis for GMRES-DR.
+
+    GMRES-DR's interpreted loop re-transposes the basis every step
+    (``np.ascontiguousarray(v[:, :j+1].T)[:, :, np.newaxis]``); here each
+    committed column is written once and ``prefix(j)`` is a view.
+    """
+
+    def __init__(self, max_cols: int, n: int, dtype: np.dtype) -> None:
+        self.vt = np.zeros((max_cols, n, 1), dtype=dtype)
+        self.cols = 0
+
+    def seed(self, v: np.ndarray, count: int) -> None:
+        """Load the first ``count`` columns of ``v`` (n x cols)."""
+        self.vt[:count, :, 0] = v[:, :count].T
+        self.cols = count
+
+    def append(self, col: np.ndarray) -> None:
+        self.vt[self.cols, :, 0] = col
+        self.cols += 1
+
+    def prefix(self, j: int) -> np.ndarray:
+        """View of columns ``0..j`` as a ``(j+1, n, 1)`` tensor."""
+        return self.vt[:j + 1]

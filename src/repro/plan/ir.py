@@ -1,0 +1,201 @@
+"""Execution-plan IR: nodes, pre-bound costs, and the node runner.
+
+The plan layer lowers the solver hot path (one block-Arnoldi cycle, or one
+pseudo-block orthogonalization step) into a flat stream of primitive
+:class:`PlanNode` objects — SpMM, stacked-Gram, project, normalize,
+small-GEMM, AXPY, allreduce — each carrying a **pre-bound** ledger charge.
+
+Pre-binding is the point: the interpreted kernels in ``la/`` and
+``distla/`` re-derive their :class:`~repro.util.ledger.CostLedger` charges
+on every call from the operand shapes; a compiled plan evaluates those same
+formulas once at lowering time into :class:`NodeCost` tables
+(:class:`~repro.util.ledger.CostTable` bundles), so executing a node charges
+the ledger with an O(1) table replay.  Charge totals are **identical by
+construction** to what the interpreter derives — the conservation tests and
+the ``plan-equivalence`` CI stage pin that bit-for-bit.
+
+This module is the *only* place in ``repro.plan`` allowed to touch the
+ledger's charging surface (``flop``/``reduction``/``p2p``/``event``);
+``scripts/lint_repro.py`` enforces that node bodies charge exclusively
+through their pre-bound :class:`NodeCost`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..util import ledger
+from ..util.ledger import CostLedger, CostTable
+
+__all__ = [
+    "ChargeSpec",
+    "NodeCost",
+    "PlanNode",
+    "Plan",
+    "ZERO_COST",
+    "flop_cost",
+    "reduction_cost",
+    "event_cost",
+    "per_unit_reduction",
+    "run_nodes",
+]
+
+
+@dataclass(frozen=True)
+class ChargeSpec:
+    """One :class:`CostTable` replay bound to its charge-time parameters.
+
+    ``per_unit`` marks a charge whose byte payload scales with a runtime
+    count the node body reports (e.g. the honest re-norm of the cgs2_1r
+    cancellation guard, whose reduction carries one scalar per affected
+    column): the effective itemsize is ``itemsize * units``.
+    """
+
+    table: CostTable
+    itemsize: int = 8
+    p: int = 1
+    kernel: str | None = None
+    per_unit: bool = False
+
+    def replay(self, led: CostLedger, units: int = 1) -> None:
+        itemsize = self.itemsize * units if self.per_unit else self.itemsize
+        self.table.charge(led, itemsize=itemsize, p=self.p,
+                          kernel=self.kernel)
+
+
+@dataclass(frozen=True)
+class NodeCost:
+    """Pre-bound charge bundle of one plan node (or one branch of it)."""
+
+    specs: tuple[ChargeSpec, ...] = ()
+
+    def charge(self, led: CostLedger | None = None, *, units: int = 1) -> None:
+        led = led if led is not None else ledger.current()
+        for spec in self.specs:
+            spec.replay(led, units)
+
+    def __add__(self, other: "NodeCost") -> "NodeCost":
+        return NodeCost(self.specs + other.specs)
+
+    @property
+    def is_zero(self) -> bool:
+        return not self.specs
+
+
+ZERO_COST = NodeCost()
+
+
+def flop_cost(kernel: str, count: float) -> NodeCost:
+    """Pre-bound ``led.flop(kernel, count)``."""
+    if not count:
+        return ZERO_COST
+    return NodeCost((ChargeSpec(CostTable(flops_per_col=float(count)),
+                                kernel=kernel),))
+
+
+def reduction_cost(nbytes: int, count: int = 1) -> NodeCost:
+    """Pre-bound ``led.reduction(nbytes=nbytes, count=count)``."""
+    if not count:
+        return ZERO_COST
+    return NodeCost((ChargeSpec(CostTable(reductions=count,
+                                          reduction_items=1),
+                                itemsize=int(nbytes)),))
+
+
+def event_cost(name: str, count: int = 1) -> NodeCost:
+    """Pre-bound ``led.event(name, count)``."""
+    return NodeCost((ChargeSpec(CostTable(events_per_col=((name, count),))),))
+
+
+def per_unit_reduction(itemsize: int = 8) -> NodeCost:
+    """One reduction whose payload is ``itemsize`` bytes per reported unit."""
+    return NodeCost((ChargeSpec(CostTable(reductions=1, reduction_items=1),
+                                itemsize=itemsize, per_unit=True),))
+
+
+@dataclass
+class PlanNode:
+    """One primitive of the lowered stream.
+
+    ``run(ctx)`` performs the numerics and returns the charge outcome:
+    ``None`` charges the static ``cost``; a branch name charges
+    ``branches[name]``; a ``(name, units)`` pair charges ``branches[name]``
+    scaled by ``units`` (per-unit specs only).  ``cost_thunk`` holds the
+    lowering-time charge formula; the optimizer's pre-bind pass evaluates
+    it once into ``cost`` so execution is a pure table lookup.
+
+    ``phase`` drives trace-span placement so compiled execution closes
+    spans at exactly the interpreter's boundaries: ``prologue`` (before the
+    step loop), ``pre`` (inside ``arnoldi_step``, before ``ortho``),
+    ``ortho`` (inside the ``ortho`` span), ``post`` (after ``ortho``,
+    still inside ``arnoldi_step``), ``tail`` (after the ``arnoldi_step``
+    span closes) and ``next`` (basis advance, deferred into the following
+    step's ``pre`` phase by the cross-boundary fusion pass).
+    """
+
+    kind: str
+    label: str
+    phase: str
+    run: Callable[[Any], Any] | None = None
+    cost: NodeCost = ZERO_COST
+    cost_thunk: Callable[[], NodeCost] | None = None
+    branches: dict[str, NodeCost] = field(default_factory=dict)
+    fusable: bool = False
+    invariant_key: str | None = None
+    batch_key: str | None = None
+
+    def bound_cost(self) -> NodeCost:
+        """The node's static cost, deriving it if not yet pre-bound."""
+        if self.cost_thunk is not None:
+            return self.cost_thunk()
+        return self.cost
+
+    @property
+    def is_free(self) -> bool:
+        """True when the node charges nothing on any path (safe to move
+        across trace-span boundaries)."""
+        return (self.cost_thunk is None and self.cost.is_zero
+                and all(b.is_zero for b in self.branches.values()))
+
+
+@dataclass
+class Plan:
+    """A lowered cycle: prologue nodes + one node list per Arnoldi step."""
+
+    prologue: list[PlanNode] = field(default_factory=list)
+    steps: list[list[PlanNode]] = field(default_factory=list)
+    meta: dict[str, Any] = field(default_factory=dict)
+    stats: dict[str, int] = field(default_factory=dict)
+
+    def all_nodes(self):
+        yield from self.prologue
+        for step in self.steps:
+            yield from step
+
+    def total_cost(self) -> CostLedger:
+        """Replay every node's static cost *and* every branch cost onto a
+        scratch ledger — the conserved quantity the optimizer-pass tests
+        compare before/after a transform."""
+        led = CostLedger()
+        for node in self.all_nodes():
+            node.bound_cost().charge(led)
+            for branch in node.branches.values():
+                branch.charge(led)
+        return led
+
+
+def run_nodes(nodes: list[PlanNode], ctx: Any, led: CostLedger) -> None:
+    """Execute a node list: run each body, replay its pre-bound charge."""
+    for node in nodes:
+        outcome = node.run(ctx) if node.run is not None else None
+        if outcome is None:
+            if node.cost_thunk is not None:   # un-prebound (unoptimized) plan
+                node.cost_thunk().charge(led)
+            else:
+                node.cost.charge(led)
+        elif isinstance(outcome, tuple):
+            name, units = outcome
+            node.branches[name].charge(led, units=units)
+        else:
+            node.branches[outcome].charge(led)

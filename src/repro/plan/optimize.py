@@ -1,0 +1,170 @@
+"""Plan optimizer: hoist, fuse, batch, pre-bind.
+
+Four passes over a lowered :class:`~repro.plan.ir.Plan`, applied in order.
+Every pass is charge-conserving — the per-cycle ledger totals replayed by
+the optimized plan are identical to the unoptimized plan's (the unit tests
+pin this with :meth:`Plan.total_cost` before/after comparisons):
+
+1. ``hoist_invariants`` — nodes tagged with an ``invariant_key`` perform
+   cycle-invariant setup (projector stacking, Hessenberg QR scaffolding).
+   The first occurrence moves to the prologue; later occurrences are
+   dropped.  Only charge-free nodes are eligible, so per-cycle charges
+   are untouched by construction.
+2. ``fuse_adjacent`` — maximal runs of consecutive ``fusable``,
+   branch-free, same-phase nodes merge into one node whose body chains
+   the originals and whose cost is the sum.  A charge-free ``next``-phase
+   basis advance additionally fuses across the step boundary into the
+   following step's leading ``pre`` node.
+3. ``batch_parallel`` — consecutive nodes sharing a ``batch_key`` (i.e.
+   independent small GEMMs lowered separately) merge into one batched
+   node.
+4. ``prebind`` — every remaining ``cost_thunk`` is evaluated once into a
+   bound :class:`NodeCost`, making execution-time charging a table lookup.
+"""
+
+from __future__ import annotations
+
+from .ir import Plan, PlanNode
+
+__all__ = ["optimize"]
+
+
+def _merge(nodes: list[PlanNode], kind: str) -> PlanNode:
+    """Fold a run of branch-free nodes into one chained node."""
+    runs = [n.run for n in nodes if n.run is not None]
+
+    def chained(ctx, _runs=tuple(runs)):
+        for r in _runs:
+            r(ctx)
+
+    thunks = [n.cost_thunk for n in nodes if n.cost_thunk is not None]
+    static = [n.cost for n in nodes if n.cost_thunk is None]
+
+    def cost_thunk(_thunks=tuple(thunks), _static=tuple(static)):
+        total = None
+        for part in list(_static) + [t() for t in _thunks]:
+            total = part if total is None else total + part
+        return total
+
+    merged = PlanNode(kind=kind,
+                      label="+".join(n.label for n in nodes),
+                      phase=nodes[0].phase,
+                      run=chained if runs else None,
+                      fusable=all(n.fusable for n in nodes))
+    if thunks:
+        merged.cost_thunk = cost_thunk
+    else:
+        merged.cost = cost_thunk()
+    return merged
+
+
+def _fuse_list(nodes: list[PlanNode], stats: dict[str, int]) -> list[PlanNode]:
+    out: list[PlanNode] = []
+    run: list[PlanNode] = []
+
+    def flush() -> None:
+        if len(run) > 1:
+            stats["fused"] += len(run) - 1
+            out.append(_merge(run, "fused"))
+        elif run:
+            out.append(run[0])
+        run.clear()
+
+    for node in nodes:
+        eligible = node.fusable and not node.branches
+        if run and (not eligible or node.phase != run[0].phase):
+            flush()
+        if eligible:
+            run.append(node)
+        else:
+            flush()
+            out.append(node)
+    flush()
+    return out
+
+
+def _hoist(plan: Plan, stats: dict[str, int]) -> None:
+    # keys already satisfied by an explicit prologue node stay there; their
+    # (idempotent) step occurrences are simply dropped
+    seen: set[str] = {n.invariant_key for n in plan.prologue
+                      if n.invariant_key is not None}
+    for si, step in enumerate(plan.steps):
+        kept: list[PlanNode] = []
+        for node in step:
+            key = node.invariant_key
+            if key is None or not node.is_free:
+                kept.append(node)
+                continue
+            if key not in seen:
+                seen.add(key)
+                plan.prologue.append(node)
+            stats["hoisted"] += 1
+        plan.steps[si] = kept
+
+
+def _batch(nodes: list[PlanNode], stats: dict[str, int]) -> list[PlanNode]:
+    out: list[PlanNode] = []
+    run: list[PlanNode] = []
+
+    def flush() -> None:
+        if len(run) > 1:
+            stats["batched"] += len(run) - 1
+            out.append(_merge(run, "batched"))
+        elif run:
+            out.append(run[0])
+        run.clear()
+
+    for node in nodes:
+        key = node.batch_key
+        eligible = key is not None and not node.branches
+        if run and (not eligible or key != run[0].batch_key):
+            flush()
+        if eligible:
+            run.append(node)
+        else:
+            flush()
+            out.append(node)
+    flush()
+    return out
+
+
+def _fuse_cross_step(plan: Plan, stats: dict[str, int]) -> None:
+    """Defer each step's charge-free ``next``-phase advance into the
+    following step's ``pre`` head (merging with it when fusable)."""
+    for si in range(len(plan.steps) - 1):
+        step = plan.steps[si]
+        if not step or step[-1].phase != "next" or not step[-1].is_free:
+            continue
+        advance = step.pop()
+        advance.phase = "pre"
+        nxt = plan.steps[si + 1]
+        if (nxt and nxt[0].fusable and not nxt[0].branches
+                and advance.fusable and nxt[0].phase == "pre"):
+            nxt[0] = _merge([advance, nxt[0]], "fused")
+            stats["fused"] += 1
+        else:
+            nxt.insert(0, advance)
+
+
+def _prebind(plan: Plan, stats: dict[str, int]) -> None:
+    for node in plan.all_nodes():
+        if node.cost_thunk is not None:
+            node.cost = node.cost_thunk()
+            node.cost_thunk = None
+            stats["prebound"] += 1
+
+
+def optimize(plan: Plan) -> Plan:
+    """Apply all passes in order; records counters in ``plan.stats``."""
+    stats = {"hoisted": 0, "fused": 0, "batched": 0, "prebound": 0,
+             "nodes": 0}
+    _hoist(plan, stats)
+    plan.prologue = _batch(plan.prologue, stats)
+    plan.prologue = _fuse_list(plan.prologue, stats)
+    plan.steps = [_fuse_list(_batch(step, stats), stats)
+                  for step in plan.steps]
+    _fuse_cross_step(plan, stats)
+    _prebind(plan, stats)
+    stats["nodes"] = sum(1 for _ in plan.all_nodes())
+    plan.stats = stats
+    return plan

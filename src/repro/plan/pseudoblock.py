@@ -1,0 +1,121 @@
+"""Compiled pseudo-block orthogonalization (gmres / pgcrodr / gmresdr).
+
+:class:`CompiledPseudoBlockOrthogonalizer` executes the exact numerics of
+:class:`~repro.la.orthogonalization.PseudoBlockOrthogonalizer` — the two
+share the uncharged ``_pb_*`` step cores — but replaces the interpreter's
+per-call charge derivation with a pre-bound :class:`~repro.plan.ir.NodeCost`
+per ``(scheme, j)``, cached across restarts, so the hot loop's ledger
+accounting is a table replay.  Counts are bit-identical by construction;
+the only data-dependent charge (the cgs2_1r cancellation guard's honest
+re-norm) is a ``per_unit`` spec scaled by the core's reported column count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..la.orthogonalization import (PseudoBlockOrthogonalizer,
+                                    _apply_sketch_core, _pb_begin_sketched,
+                                    _pb_step_cgs, _pb_step_cgs2_1r,
+                                    _pb_step_mgs, _pb_step_sketched)
+from ..util.ledger import Kernel
+from .ir import NodeCost, flop_cost, per_unit_reduction, reduction_cost
+
+__all__ = ["CompiledPseudoBlockOrthogonalizer",
+           "make_pseudo_block_orthogonalizer"]
+
+
+class CompiledPseudoBlockOrthogonalizer(PseudoBlockOrthogonalizer):
+    """Same contract as the interpreting parent; charges via bound tables."""
+
+    def __init__(self, scheme: str, *, n: int, p: int, dtype,
+                 max_cols: int, seed: int = 0):
+        super().__init__(scheme, n=n, p=p, dtype=dtype, max_cols=max_cols,
+                         seed=seed)
+        self._step_costs: dict[int, NodeCost] = {}
+        self._guard_cost = per_unit_reduction(8)
+
+    # -- lowering-time charge formulas (the interpreter's, verbatim) -------
+
+    def _bind_step(self, j: int) -> NodeCost:
+        n, p = self.n, self.p
+        itemsize = self.dtype.itemsize
+        if self.scheme == "mgs":
+            return (reduction_cost(p * itemsize, count=j + 1)
+                    + flop_cost(Kernel.BLAS2, 4.0 * n * p * (j + 1))
+                    + reduction_cost(p * 8))
+        if self.scheme in ("cgs", "imgs", "cholqr2"):
+            passes = 2 if self.scheme == "imgs" else 1
+            return (reduction_cost((j + 1) * p * itemsize, count=passes)
+                    + flop_cost(Kernel.BLAS3, 4.0 * (j + 1) * n * p * passes)
+                    + reduction_cost(p * 8))
+        if self.scheme == "cgs2_1r":
+            return (reduction_cost(((j + 1) * p + p) * itemsize, count=2)
+                    + flop_cost(Kernel.BLAS3,
+                                (4.0 * (j + 1) * n * p + 2.0 * n * p) * 2))
+        # sketched: the fused candidate reduction, then the sketch flops and
+        # the projection flops in the interpreter's charge order (same
+        # floating-point accumulation sequence for the BLAS3 counter)
+        return (reduction_cost(self.s * p * itemsize)
+                + flop_cost(Kernel.BLAS3,
+                            2.0 * n * np.log2(max(n, 2)) * max(p, 1))
+                + flop_cost(Kernel.BLAS3, 4.0 * (j + 1) * n * p))
+
+    def _step_cost(self, j: int) -> NodeCost:
+        cost = self._step_costs.get(j)
+        if cost is None:
+            cost = self._step_costs[j] = self._bind_step(j)
+        return cost
+
+    # -- the hot path ------------------------------------------------------
+
+    def begin(self, v0: np.ndarray) -> None:
+        if self.scheme != "sketched":
+            return
+        w0, n, p = v0.shape
+        cost = (reduction_cost(self.s * w0 * p * self.dtype.itemsize)
+                + flop_cost(Kernel.BLAS3,
+                            2.0 * n * np.log2(max(n, 2)) * max(w0 * p, 1))
+                + flop_cost(Kernel.QR, 4.0 * self.s * w0**2 * p))
+        sv = _apply_sketch_core(v0.transpose(1, 0, 2).reshape(n, w0 * p),
+                                self.s, self.seed).reshape(self.s, w0, p)
+        self._qs, self._t0 = _pb_begin_sketched(sv, self._max_cols,
+                                                self.dtype)
+        cost.charge()
+        self._cols = w0
+        self._pending = None
+
+    def step(self, basis: np.ndarray, w: np.ndarray, j: int
+             ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        cost = self._step_cost(j)
+        if self.scheme == "mgs":
+            w2, dots, nrm = _pb_step_mgs(basis, w)
+            cost.charge()
+            return w2, dots, nrm
+        if self.scheme in ("cgs", "imgs", "cholqr2"):
+            w2, dots, nrm = _pb_step_cgs(basis, w,
+                                         iterated=self.scheme == "imgs")
+            cost.charge()
+            return w2, dots, nrm
+        if self.scheme == "cgs2_1r":
+            w2, dots, nrm, nbad = _pb_step_cgs2_1r(basis, w)
+            cost.charge()
+            if nbad:
+                self._guard_cost.charge(units=nbad)
+            return w2, dots, nrm
+        sw = _apply_sketch_core(w, self.s, self.seed)
+        w2, y, nrm, rs = _pb_step_sketched(self._qs[:j + 1], self._t0,
+                                           basis, w, sw)
+        cost.charge()
+        self._pending = (rs, nrm)
+        return w2, y, nrm
+
+
+def make_pseudo_block_orthogonalizer(scheme: str, *, plan: str = "interpret",
+                                     n: int, p: int, dtype, max_cols: int,
+                                     seed: int = 0
+                                     ) -> PseudoBlockOrthogonalizer:
+    """Factory: the interpreting orthogonalizer, or its compiled twin."""
+    cls = (CompiledPseudoBlockOrthogonalizer if plan == "compiled"
+           else PseudoBlockOrthogonalizer)
+    return cls(scheme, n=n, p=p, dtype=dtype, max_cols=max_cols, seed=seed)
