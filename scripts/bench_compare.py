@@ -1,8 +1,9 @@
 #!/usr/bin/env python
 """Bench-trajectory regression gate.
 
-Re-runs the two quick perf benches (``bench_micro_kernels --quick``,
-``bench_service --quick``), reduces them to a small set of named metrics,
+Re-runs the three quick perf benches (``bench_micro_kernels --quick``,
+``bench_service --quick``, ``bench_traffic --quick``), reduces them to a
+small set of named metrics,
 compares against the most recent same-config entry of
 ``benchmarks/results/BENCH_trajectory.json`` (bootstrapping from the
 checked-in full-config ``BENCH_*.json`` gates when the trajectory is
@@ -49,11 +50,12 @@ MODELED_RTOL = 1e-6
 TRACKED_KERNELS = ("spmm", "col_dots", "cholqr")
 
 
-def run_quick_benches(tmpdir: str) -> tuple[dict, dict]:
-    """Run both quick benches with ``--check`` and return their JSON."""
+def run_quick_benches(tmpdir: str) -> tuple[dict, dict, dict]:
+    """Run the quick benches with ``--check`` and return their JSON."""
     out = {}
     for script, name in (("bench_micro_kernels.py", "kernels"),
-                         ("bench_service.py", "service")):
+                         ("bench_service.py", "service"),
+                         ("bench_traffic.py", "traffic")):
         path = os.path.join(tmpdir, f"{name}.json")
         cmd = [sys.executable, os.path.join(ROOT, "benchmarks", script),
                "--quick", "--check", "--out", path]
@@ -67,10 +69,11 @@ def run_quick_benches(tmpdir: str) -> tuple[dict, dict]:
                              f"(exit {proc.returncode})")
         with open(path, encoding="utf-8") as fh:
             out[name] = json.load(fh)
-    return out["kernels"], out["service"]
+    return out["kernels"], out["service"], out["traffic"]
 
 
-def extract_metrics(kernels: dict, service: dict) -> dict[str, dict]:
+def extract_metrics(kernels: dict, service: dict,
+                    traffic: dict | None = None) -> dict[str, dict]:
     """Reduce raw bench JSON to ``{metric: {value, kind}}``."""
     m: dict[str, dict] = {}
     speed = kernels["speedup_fused_over_per_rank"]
@@ -99,6 +102,25 @@ def extract_metrics(kernels: dict, service: dict) -> dict[str, dict]:
         "value": float(service["amortized_speedup"]), "kind": "modeled"}
     m["service_setup_builds_coalesced"] = {
         "value": int(service["coalesced"]["setup_builds"]), "kind": "exact"}
+    if traffic is not None:
+        # everything here is ledger-derived modeled time: deterministic
+        # for a fixed config, so tracked at 1e-6 relative
+        m["traffic_async_speedup"] = {
+            "value": float(traffic["throughput_speedup_async_over_sync"]),
+            "kind": "modeled"}
+        m["traffic_async_p99"] = {
+            "value": float(traffic["async"]["latency"]["p99"]),
+            "kind": "modeled"}
+        m["traffic_burst_rejection_rate"] = {
+            "value": float(traffic["burst_bounded_queue"]["rejection_rate"]),
+            "kind": "modeled"}
+        m["traffic_cache_hit_rate"] = {
+            "value": float(traffic["async"]["cache"]["hit_rate"]),
+            "kind": "modeled"}
+        m["traffic_all_converged"] = {
+            "value": int(traffic["sync"]["all_converged"]
+                         and traffic["async"]["all_converged"]),
+            "kind": "exact"}
     return m
 
 
@@ -152,6 +174,15 @@ def bootstrap_floors(current: dict[str, dict]) -> list[str]:
     if current["plan_compiled_speedup"]["value"] < 1.0:
         failures.append("plan_compiled_speedup < 1.0 "
                         "(compiled slower than the interpreter)")
+    if "traffic_async_speedup" in current:
+        if current["traffic_async_speedup"]["value"] < 1.5:
+            failures.append("traffic_async_speedup < 1.5")
+        if current["traffic_all_converged"]["value"] != 1:
+            failures.append("traffic_all_converged != 1")
+        rej = current["traffic_burst_rejection_rate"]["value"]
+        if not 0.0 < rej <= 0.5:
+            failures.append(f"traffic_burst_rejection_rate {rej} "
+                            f"outside (0, 0.5]")
     return failures
 
 
@@ -190,6 +221,8 @@ def main(argv: list[str] | None = None) -> int:
                          "instead of re-running")
     ap.add_argument("--current-service", type=str, default=None,
                     help="reuse an existing quick bench_service JSON")
+    ap.add_argument("--current-traffic", type=str, default=None,
+                    help="reuse an existing quick bench_traffic JSON")
     ap.add_argument("--no-append", action="store_true",
                     help="compare only; do not extend the trajectory")
     ap.add_argument("--self-test", action="store_true",
@@ -201,10 +234,14 @@ def main(argv: list[str] | None = None) -> int:
             kernels = json.load(fh)
         with open(ns.current_service, encoding="utf-8") as fh:
             service = json.load(fh)
+        traffic = None
+        if ns.current_traffic:
+            with open(ns.current_traffic, encoding="utf-8") as fh:
+                traffic = json.load(fh)
     else:
         with tempfile.TemporaryDirectory() as tmp:
-            kernels, service = run_quick_benches(tmp)
-    current = extract_metrics(kernels, service)
+            kernels, service, traffic = run_quick_benches(tmp)
+    current = extract_metrics(kernels, service, traffic)
 
     if ns.self_test:
         return self_test(current)

@@ -13,10 +13,14 @@ coverage         ``scripts/coverage_floor.py``                        no
 plan-equivalence compiled-vs-interpret execution plans: bit-identical yes
                  ledger counts and iterates over representative
                  solves (``cross_check_plan_modes``)
-perf-gates       quick microkernel + service benches with           yes
-                 ``--check``, then ``scripts/bench_compare.py`` on
-                 their output (regression vs the bench trajectory,
-                 which it extends)
+perf-gates       quick microkernel + service + traffic benches     yes
+                 with ``--check``, then ``scripts/bench_compare.py``
+                 on their output (regression vs the bench
+                 trajectory, which it extends)
+traffic          ``bench_traffic --quick --check`` twice: the       yes
+                 bench's own p99 / rejection-rate / speedup gates,
+                 plus byte-identical JSON across the two runs (the
+                 seeded-traffic determinism contract)
 trace-gate       ``repro.trace.gate.run_gate()`` — reduction shapes   yes
                  from exported spans, both exec modes
 determinism      byte-identical chrome traces across repeated         yes
@@ -47,9 +51,9 @@ import time
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SUMMARY = os.path.join(ROOT, "ci_summary.json")
 FAST_STAGES = ("lint", "tier1", "plan-equivalence", "perf-gates",
-               "trace-gate", "determinism")
+               "traffic", "trace-gate", "determinism")
 ALL_STAGES = ("lint", "tier1", "slow", "coverage", "plan-equivalence",
-              "perf-gates", "trace-gate", "determinism")
+              "perf-gates", "traffic", "trace-gate", "determinism")
 
 
 def _env() -> dict[str, str]:
@@ -146,8 +150,10 @@ def stage_perf_gates() -> dict:
     with tempfile.TemporaryDirectory() as tmp:
         k_json = os.path.join(tmp, "kernels.json")
         s_json = os.path.join(tmp, "service.json")
+        t_json = os.path.join(tmp, "traffic.json")
         for script, out in (("bench_micro_kernels.py", k_json),
-                            ("bench_service.py", s_json)):
+                            ("bench_service.py", s_json),
+                            ("bench_traffic.py", t_json)):
             res = _run([sys.executable,
                         os.path.join(ROOT, "benchmarks", script),
                         "--quick", "--check", "--out", out])
@@ -156,13 +162,46 @@ def stage_perf_gates() -> dict:
         res = _run([sys.executable,
                     os.path.join(ROOT, "scripts", "bench_compare.py"),
                     "--self-test", "--current-kernels", k_json,
-                    "--current-service", s_json])
+                    "--current-service", s_json,
+                    "--current-traffic", t_json])
         if not res["ok"]:
             return res
         return _run([sys.executable,
                      os.path.join(ROOT, "scripts", "bench_compare.py"),
                      "--current-kernels", k_json,
-                     "--current-service", s_json])
+                     "--current-service", s_json,
+                     "--current-traffic", t_json])
+
+
+def stage_traffic() -> dict:
+    """Seeded-traffic gates + byte-determinism of the replay harness.
+
+    Runs the quick (10^3-request) traffic bench twice: each run enforces
+    the bench's own gates (async >= 1.5x sync modeled throughput, p99
+    tail-latency ceiling, bounded burst rejection rate) and the two JSON
+    payloads must be byte-identical — two invocations of one seeded
+    config may not differ anywhere, reports and metric snapshots
+    included.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = [os.path.join(tmp, f"traffic_{i}.json") for i in (1, 2)]
+        for path in paths:
+            res = _run([sys.executable,
+                        os.path.join(ROOT, "benchmarks", "bench_traffic.py"),
+                        "--quick", "--check", "--out", path])
+            if not res["ok"]:
+                return res
+        with open(paths[0], "rb") as fh:
+            first = fh.read()
+        with open(paths[1], "rb") as fh:
+            second = fh.read()
+        if first != second:
+            return {"ok": False,
+                    "error": "two seeded traffic runs produced different "
+                             "payloads (determinism contract broken)"}
+        print("traffic: gates passed twice, payloads byte-identical "
+              f"({len(first)} bytes)")
+        return {"ok": True}
 
 
 def _modeled_seconds(led) -> float:
@@ -263,6 +302,7 @@ STAGES = {
     "coverage": stage_coverage,
     "plan-equivalence": stage_plan_equivalence,
     "perf-gates": stage_perf_gates,
+    "traffic": stage_traffic,
     "trace-gate": stage_trace_gate,
     "determinism": stage_determinism,
 }

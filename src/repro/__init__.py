@@ -25,7 +25,8 @@ from .api import Solver, solve
 from .krylov.base import (FunctionPreconditioner, Operator, Preconditioner,
                           SolveResult, as_operator, as_preconditioner)
 from .krylov.recycling import RecycledSubspace, RecyclingStore
-from .service import SetupCache, SolveService, operator_fingerprint
+from .service import (AsyncSolveService, SetupCache, ShardedSetupCache,
+                      SolveService, make_service, operator_fingerprint)
 from .util.execmode import exec_mode, set_exec_mode, use_exec_mode
 from .util.ledger import CostLedger, CostTable, install as install_ledger
 from .util.options import Options, parse_hpddm_args
@@ -46,7 +47,10 @@ __all__ = [
     "RecycledSubspace",
     "RecyclingStore",
     "SolveService",
+    "AsyncSolveService",
+    "make_service",
     "SetupCache",
+    "ShardedSetupCache",
     "operator_fingerprint",
     "CostLedger",
     "CostTable",

@@ -6,12 +6,21 @@ See :mod:`repro.service.service` for the architecture, and
 
 from .cache import SetupCache
 from .fingerprint import Fingerprint, operator_fingerprint
-from .service import SolveRequest, SolveService
+from .scheduler import AsyncRequest, AsyncSolveService, make_service
+from .service import SolveRequest, SolveService, options_digest, options_key
+from .shard import ConsistentHashRouter, ShardedSetupCache
 
 __all__ = [
+    "AsyncRequest",
+    "AsyncSolveService",
+    "ConsistentHashRouter",
     "Fingerprint",
     "SetupCache",
+    "ShardedSetupCache",
     "SolveRequest",
     "SolveService",
+    "make_service",
     "operator_fingerprint",
+    "options_digest",
+    "options_key",
 ]

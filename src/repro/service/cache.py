@@ -14,6 +14,14 @@ artifact of an operator refreshes the whole entry.  Mutating a cached
 operator's ``data`` in place changes its fingerprint, so the next lookup
 *misses* (never returns stale factors); the stale entry ages out of the
 LRU normally.
+
+Hit/miss accounting is per ``(fingerprint, kind)``: probing one operator
+under two different options digests (two distinct recycle ``kind`` keys)
+in the same flush wave increments two independent counters, so
+per-operator attribution never conflates digests that merely share an
+operator.  ``stats()`` still reports the per-kind aggregation for
+backward compatibility; ``key_stats(fp)`` exposes the per-operator
+breakdown.
 """
 
 from __future__ import annotations
@@ -42,6 +50,8 @@ class SetupCache:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = int(max_entries)
         self._entries: OrderedDict[Fingerprint, dict[str, Any]] = OrderedDict()
+        #: per-(fingerprint, kind) counters — NOT per kind: one operator
+        #: probed under two options digests must count twice, once each.
         self.hits: Counter = Counter()
         self.misses: Counter = Counter()
         self.evictions: int = 0
@@ -52,9 +62,9 @@ class SetupCache:
         entry = self._entries.get(fp)
         if entry is not None and kind in entry:
             self._entries.move_to_end(fp)
-            self.hits[kind] += 1
+            self.hits[fp, kind] += 1
             return entry[kind]
-        self.misses[kind] += 1
+        self.misses[fp, kind] += 1
         return None
 
     def put(self, fp: Fingerprint, kind: str, artifact: Any) -> None:
@@ -103,13 +113,35 @@ class SetupCache:
         """Cached operators, LRU-first (next-to-evict at index 0)."""
         return list(self._entries)
 
+    def key_stats(self, fp: Fingerprint) -> dict[str, dict[str, int]]:
+        """Per-kind hit/miss counts for *one* operator.
+
+        The per-``(fingerprint, kind)`` granularity is the regression
+        surface for the double-count bug: two options digests probing the
+        same operator in one flush wave must land on distinct counters.
+        """
+        kinds = sorted({k for (f, k) in self.hits if f == fp}
+                       | {k for (f, k) in self.misses if f == fp})
+        return {k: {"hits": self.hits[fp, k], "misses": self.misses[fp, k]}
+                for k in kinds}
+
     def stats(self) -> dict[str, Any]:
-        """Hit/miss/eviction counters, as surfaced in ``info["service"]``."""
+        """Hit/miss/eviction counters, as surfaced in ``info["service"]``.
+
+        ``hits``/``misses`` aggregate over fingerprints (per kind) for
+        backward compatibility with existing consumers.
+        """
+        by_kind_hits: Counter = Counter()
+        for (_, kind), n in self.hits.items():
+            by_kind_hits[kind] += n
+        by_kind_misses: Counter = Counter()
+        for (_, kind), n in self.misses.items():
+            by_kind_misses[kind] += n
         return {
             "entries": len(self._entries),
             "max_entries": self.max_entries,
-            "hits": dict(self.hits),
-            "misses": dict(self.misses),
+            "hits": dict(by_kind_hits),
+            "misses": dict(by_kind_misses),
             "total_hits": sum(self.hits.values()),
             "total_misses": sum(self.misses.values()),
             "evictions": self.evictions,

@@ -1,0 +1,370 @@
+"""Async multi-tenant front end: deadlines, admission control, sharding.
+
+:class:`AsyncSolveService` wraps the synchronous coalescing core of
+:class:`~repro.service.service.SolveService` in a deterministic
+event-loop scheduler running in *simulated* time: batch durations come
+from :func:`repro.perfmodel.modeled_time` applied to each batch's
+``CostLedger``, never from the wall clock, so every run of a seeded
+workload is byte-identical.  On top of the base class it adds
+
+* **deadlines and priorities** — each request carries an absolute
+  deadline and an integer priority; dispatch order within a shard is
+  earliest-deadline-first among equal priorities (``urgency()``), and a
+  queued group whose earliest deadline arrives while its shard is idle
+  is dispatched immediately rather than waiting to fill;
+* **admission control and backpressure** — with
+  ``Options.service_queue_depth > 0`` a submit against a full shard
+  queue is *rejected* (an explicit :attr:`AsyncRequest.rejected` reason,
+  never an exception and never a silent drop), as is a request whose
+  deadline already passed;
+* **sharding** — operators are partitioned across per-shard
+  :class:`~repro.service.shard.ShardedSetupCache` instances by
+  consistent hashing; each shard is an independent execution lane with
+  its own queue depth, busy clock, and eviction pressure;
+* **cross-batch pipelining** — while a shard executes one coalesced
+  block, later arrivals accumulate in its queue; the completion event
+  dispatches whatever accumulated as the next block, so a busy shard
+  always has a batch in flight and one forming;
+* **exact cost attribution** — batches run through the base class's
+  ``_solve_batch``, so the private-ledger merge/split conservation
+  contract is untouched: summed per-request shares equal the batch
+  ledger bit-for-bit, sharded or not.
+
+The synchronous service remains the correctness oracle
+(``-hpddm_service_mode {sync,async}``): at equal inputs both modes
+produce the same solutions, the async mode merely reorders batches in
+modeled time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..krylov.base import SolveResult
+from ..perfmodel.estimate import modeled_time
+from ..trace import tracer as trace
+from ..util.misc import as_block
+from ..util.options import Options
+from .fingerprint import operator_fingerprint
+from .service import SolveRequest, SolveService, options_key
+from .shard import ShardedSetupCache
+
+__all__ = ["AsyncRequest", "AsyncSolveService", "make_service"]
+
+#: rank count at which batch durations are modeled (the paper's Curie
+#: strong-scaling configuration; matches ``scripts/ci.py`` and the
+#: service bench)
+DEFAULT_NRANKS = 64
+
+
+@dataclass
+class AsyncRequest(SolveRequest):
+    """A queued solve with scheduling metadata, in simulated seconds."""
+
+    arrival: float = 0.0
+    deadline: float = math.inf  #: absolute; ``inf`` = none
+    priority: int = 0           #: larger = more urgent
+    tenant: str = "default"
+    shard: int = 0
+    rejected: str | None = None  #: admission-refusal reason, else ``None``
+    dispatch_time: float | None = None
+    completion_time: float | None = None
+
+    def urgency(self) -> tuple[int, float, int]:
+        """Sort key: priority first, then EDF, then arrival order."""
+        return (-self.priority, self.deadline, self.index)
+
+    @property
+    def latency(self) -> float | None:
+        """Arrival-to-completion time in modeled seconds, once solved."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.arrival
+
+
+class AsyncSolveService(SolveService):
+    """Deadline-scheduled, sharded, pipelined solve service.
+
+    Simulated time only advances through :meth:`advance_to` and
+    :meth:`drain`; :meth:`submit` stamps requests with the current clock.
+    All service knobs come from ``options``: ``service_shards`` (lanes and
+    cache shards), ``service_queue_depth`` (per-shard admission bound,
+    0 = unbounded), ``service_deadline`` (default relative deadline,
+    0 = none), plus the inherited ``service_pmax`` / ``service_flush`` /
+    ``service_cache_entries``.
+
+    Parameters are those of :class:`SolveService` plus ``nranks``, the
+    rank count at which the perfmodel converts batch ledgers to modeled
+    durations.
+    """
+
+    def __init__(self, *, options: Options | None = None,
+                 preconditioner: Any = None,
+                 precond_opts: dict[str, Any] | None = None,
+                 cache: ShardedSetupCache | None = None,
+                 nranks: int = DEFAULT_NRANKS):
+        opts = options or Options()
+        if cache is None:
+            cache = ShardedSetupCache(opts.service_shards,
+                                      opts.service_cache_entries)
+        super().__init__(options=opts, preconditioner=preconditioner,
+                         precond_opts=precond_opts, cache=cache)
+        self.nranks = int(nranks)
+        self.n_shards = cache.n_shards
+        self.now = 0.0
+        self._busy_until = [0.0] * self.n_shards
+        self._events: list[tuple[float, int, int]] = []  # (time, seq, shard)
+        self._event_seq = 0
+        self._key_shard: dict[tuple, int] = {}
+        self.completed: list[AsyncRequest] = []
+        self.rejections: list[AsyncRequest] = []
+        self.queue_high_water = [0] * self.n_shards
+        self.deadline_misses = 0
+
+    # -- admission -------------------------------------------------------
+    def shard_depth(self, shard: int) -> int:
+        """Queued (admitted, undispatched) requests on one shard."""
+        return sum(len(reqs) for key, reqs in self._queue.items()
+                   if self._key_shard[key] == shard)
+
+    def _admit(self, req: AsyncRequest, shard: int) -> str | None:
+        """Admission decision: ``None`` admits, else a rejection reason."""
+        depth = self.options.service_queue_depth
+        if depth and self.shard_depth(shard) >= depth:
+            return "queue_full"
+        if req.deadline <= self.now:
+            return "deadline_unmeetable"
+        return None
+
+    # -- submission ------------------------------------------------------
+    def submit(self, a: Any, b: np.ndarray, *,
+               options: Options | None = None,
+               x0: np.ndarray | None = None,
+               deadline: float | None = None, priority: int = 0,
+               tenant: str = "default") -> AsyncRequest:
+        """Queue one request at the current simulated time.
+
+        ``deadline`` is *relative* to now (``None`` uses
+        ``options.service_deadline``; 0 means none).  The returned handle
+        either joins a shard queue or comes back with
+        :attr:`AsyncRequest.rejected` set — check it before calling
+        :meth:`result`.
+        """
+        opts = options or self.options
+        fp = operator_fingerprint(a)
+        b_arr = np.asarray(b)
+        rel = opts.service_deadline if deadline is None else deadline
+        req = AsyncRequest(
+            index=self._next_index, a=a, fingerprint=fp, b=b_arr,
+            width=as_block(b_arr).shape[1], options=opts, x0=x0,
+            squeeze=b_arr.ndim == 1, arrival=self.now,
+            # 0 = no deadline; negative = already expired (rejected below)
+            deadline=self.now + rel if rel != 0 else math.inf,
+            priority=priority, tenant=tenant)
+        self._next_index += 1
+        shard = self.cache.shard_of(fp)
+        req.shard = shard
+        tr = trace.current()
+        reason = self._admit(req, shard)
+        if reason is not None:
+            req.rejected = reason
+            self.rejections.append(req)
+            tr.metrics.counter("service_rejected_total").inc(reason=reason)
+            return req
+        key = (fp, options_key(opts))
+        self._queue.setdefault(key, []).append(req)
+        self._key_shard[key] = shard
+        depth = self.shard_depth(shard)
+        self.queue_high_water[shard] = max(self.queue_high_water[shard],
+                                           depth)
+        tr.metrics.gauge("service_queue_depth").set(depth, shard=str(shard))
+        if self.flush_policy != "explicit":
+            self._pump(shard, allow_partial=False)
+        return req
+
+    # -- scheduling core -------------------------------------------------
+    def _shard_keys(self, shard: int) -> list[tuple]:
+        return [key for key, reqs in self._queue.items()
+                if reqs and self._key_shard[key] == shard]
+
+    def _best_key(self, shard: int) -> tuple | None:
+        """The coalescing group holding the most urgent queued request."""
+        keys = self._shard_keys(shard)
+        if not keys:
+            return None
+        return min(keys,
+                   key=lambda k: min(r.urgency() for r in self._queue[k]))
+
+    def _group_width(self, key: tuple) -> int:
+        return sum(r.width for r in self._queue[key])
+
+    def _pump(self, shard: int, *, allow_partial: bool) -> bool:
+        """Dispatch at most one batch on an idle shard; True if it did.
+
+        With ``allow_partial=False`` (eager path at submit) a batch goes
+        out only when a group is full (``service_pmax`` columns), its
+        earliest deadline has arrived, or the shard's queue hit its
+        admission bound — dispatching on a full queue is what makes the
+        bound *backpressure* rather than deadlock, so rejections only
+        happen while the shard is genuinely busy.  ``allow_partial=True``
+        (completion events, deadline timers, drain) dispatches whatever
+        accumulated: that is the pipelining step.
+        """
+        if self._busy_until[shard] > self.now:
+            return False
+        key = self._best_key(shard)
+        if key is None:
+            return False
+        group = sorted(self._queue[key], key=AsyncRequest.urgency)
+        if not allow_partial:
+            head_due = group[0].deadline <= self.now
+            bound = self.options.service_queue_depth
+            queue_full = bool(bound) and self.shard_depth(shard) >= bound
+            if self._group_width(key) < self.p_max \
+                    and not head_due and not queue_full:
+                return False
+        chunk, rest = self._take_chunk(group)
+        if rest:
+            self._queue[key] = rest
+        else:
+            del self._queue[key]
+            del self._key_shard[key]
+        self._dispatch(shard, key, chunk)
+        return True
+
+    def _dispatch(self, shard: int, key: tuple,
+                  chunk: list[AsyncRequest]) -> None:
+        self._solve_batch(key, chunk)
+        rec = self.batches[-1]
+        duration = float(modeled_time(rec["ledger"], self.nranks,
+                                      block_width=rec["width"]).total)
+        start = self.now
+        end = start + duration
+        self._busy_until[shard] = end
+        self._event_seq += 1
+        heapq.heappush(self._events, (end, self._event_seq, shard))
+        rec.update(shard=shard, dispatch_time=start, completion_time=end,
+                   modeled_duration=duration)
+        tr = trace.current()
+        for req in chunk:
+            req.dispatch_time = start
+            req.completion_time = end
+            missed = bool(end > req.deadline)
+            if missed:
+                self.deadline_misses += 1
+                tr.metrics.counter("service_deadline_misses_total").inc(
+                    shard=str(shard))
+            assert req.result is not None
+            req.result.info["service"].update({
+                "mode": "async",
+                "shard": shard,
+                "tenant": req.tenant,
+                "priority": req.priority,
+                "arrival": req.arrival,
+                "dispatch_time": start,
+                "completion_time": end,
+                "latency": end - req.arrival,
+                "deadline": None if math.isinf(req.deadline)
+                else req.deadline,
+                "deadline_missed": missed,
+            })
+            self.completed.append(req)
+        tr.metrics.gauge("service_queue_depth").set(
+            self.shard_depth(shard), shard=str(shard))
+        tr.metrics.gauge("service_shard_occupancy").set(
+            len(self.cache.shards[shard]), shard=str(shard))
+
+    def _next_deadline(self) -> tuple[float, int]:
+        """Earliest queued deadline on an *idle* shard (time, shard).
+
+        Busy shards are excluded: their completion event is already in
+        the heap and pumps them the moment they free up.
+        """
+        best_t, best_s = math.inf, -1
+        for key, reqs in self._queue.items():
+            shard = self._key_shard[key]
+            if self._busy_until[shard] > self.now:
+                continue
+            for r in reqs:
+                if r.deadline < best_t:
+                    best_t, best_s = r.deadline, shard
+        return best_t, best_s
+
+    # -- the clock -------------------------------------------------------
+    def advance_to(self, t: float) -> None:
+        """Run the event loop up to simulated time ``t``.
+
+        Processes batch completions (which pipeline the next accumulated
+        batch out) and deadline timers (which force partial dispatch of a
+        due group on an idle shard) in time order.
+        """
+        while True:
+            ev_t = self._events[0][0] if self._events else math.inf
+            dl_t, dl_shard = self._next_deadline()
+            nxt = min(ev_t, dl_t)
+            if nxt > t:
+                break
+            self.now = nxt
+            if ev_t <= dl_t:
+                _, _, shard = heapq.heappop(self._events)
+            else:
+                shard = dl_shard
+            self._pump(shard, allow_partial=True)
+        self.now = max(self.now, t)
+
+    def drain(self) -> list[AsyncRequest]:
+        """Dispatch everything queued and run the clock until quiescent."""
+        while True:
+            progressed = False
+            for shard in range(self.n_shards):
+                while self._pump(shard, allow_partial=True):
+                    progressed = True
+            if self._events:
+                t, _, shard = heapq.heappop(self._events)
+                self.now = max(self.now, t)
+                progressed = True
+            elif not progressed:
+                break
+        return self.completed
+
+    # -- results ---------------------------------------------------------
+    def flush(self) -> list[AsyncRequest]:
+        """Alias of :meth:`drain`, matching the synchronous API."""
+        return self.drain()
+
+    def result(self, req: SolveRequest) -> SolveResult:
+        """The request's result, draining the loop if still in flight."""
+        rejected = getattr(req, "rejected", None)
+        if rejected is not None:
+            raise RuntimeError(
+                f"request {req.index} was rejected at admission "
+                f"({rejected}); it has no result")
+        if not req.done:
+            self.drain()
+        assert req.result is not None
+        return req.result
+
+    @property
+    def makespan(self) -> float:
+        """Simulated completion time of the last finished batch."""
+        return max(self._busy_until, default=0.0)
+
+
+def make_service(*, options: Options | None = None,
+                 **kwargs: Any) -> SolveService:
+    """Build the front end selected by ``options.service_mode``.
+
+    ``"sync"`` returns the blocking :class:`SolveService` oracle;
+    ``"async"`` returns :class:`AsyncSolveService` (extra keyword
+    arguments such as ``nranks`` are only meaningful there).
+    """
+    opts = options or Options()
+    if opts.service_mode == "async":
+        return AsyncSolveService(options=opts, **kwargs)
+    kwargs.pop("nranks", None)
+    return SolveService(options=opts, **kwargs)

@@ -44,7 +44,7 @@ from ..util.options import Options
 from .cache import SetupCache
 from .fingerprint import Fingerprint, operator_fingerprint
 
-__all__ = ["SolveRequest", "SolveService"]
+__all__ = ["SolveRequest", "SolveService", "options_key", "options_digest"]
 
 _PRECOND_SPECS = ("lu", "schwarz", "amg")
 
@@ -68,14 +68,22 @@ class SolveRequest:
         return self.result is not None
 
 
-def _options_key(options: Options) -> tuple:
+def options_key(options: Options) -> tuple:
     """Hashable compatibility key: requests coalesce iff keys are equal."""
     return tuple(sorted((k, repr(v)) for k, v in options.as_dict().items()))
 
 
+def options_digest(okey: tuple) -> str:
+    """Short stable digest of an options key, for cache kinds and records."""
+    return hashlib.blake2b(repr(okey).encode(), digest_size=6).hexdigest()
+
+
 def _recycle_kind(okey: tuple) -> str:
-    digest = hashlib.blake2b(repr(okey).encode(), digest_size=6).hexdigest()
-    return f"recycle:{digest}"
+    return f"recycle:{options_digest(okey)}"
+
+
+# retained for callers that imported the private name
+_options_key = options_key
 
 
 def _as_matrix(a: Any) -> sp.spmatrix:
@@ -357,7 +365,9 @@ class SolveService:
         self.batches.append({
             "batch": batch_id,
             "fingerprint": fp.short(),
+            "okey_digest": options_digest(okey),
             "requests": len(chunk),
+            "request_indices": [r.index for r in chunk],
             "width": p,
             "method": res.method,
             "iterations": res.iterations,

@@ -37,6 +37,7 @@ _STRATEGIES = ("A", "B")
 _TARGETS = ("smallest", "largest", "smallest_real", "largest_real")
 _VERIFY_LEVELS = ("off", "cheap", "full")
 _FLUSH_POLICIES = ("batch_full", "queue_drained", "explicit")
+_SERVICE_MODES = ("sync", "async")
 _TRACE_LEVELS = ("off", "summary", "full")
 _PLAN_MODES = ("interpret", "compiled")
 
@@ -146,7 +147,35 @@ class Options:
         capacity of the service's LRU :class:`repro.service.SetupCache`
         (``-hpddm_service_cache_entries``): number of distinct operators
         whose factorizations / preconditioner setups / recycled subspaces
-        are retained.
+        are retained.  With ``service_shards > 1`` the capacity applies
+        *per shard*.
+    service_mode:
+        which service front end handles submitted requests
+        (``-hpddm_service_mode``): ``"sync"`` (the original blocking
+        :class:`repro.service.SolveService` — the oracle) or ``"async"``
+        (the deadline-scheduled, sharded, pipelined
+        :class:`repro.service.AsyncSolveService` running in simulated
+        time).  Both modes produce the same per-request answers and
+        conserve cost attribution bit-for-bit.
+    service_shards:
+        number of :class:`~repro.service.shard.ShardedSetupCache` shards
+        — and concurrent batch workers — of the async service
+        (``-hpddm_service_shards``).  Operator fingerprints are routed to
+        shards by consistent hashing; each shard executes at most one
+        batch at a time in simulated time.
+    service_deadline:
+        default per-request deadline of the async service in *modeled*
+        seconds relative to arrival (``-hpddm_service_deadline``); ``0``
+        means no deadline.  A request whose batch completes after its
+        deadline counts as a deadline miss (``service_deadline_misses``
+        metric); requests submitted with an already-expired deadline are
+        rejected at admission.
+    service_queue_depth:
+        admission-control bound of the async service
+        (``-hpddm_service_queue_depth``): maximum queued (not yet
+        dispatched) requests *per shard*; ``0`` means unbounded.  A
+        submit against a full shard queue returns an explicit rejection
+        (``rejected="queue_full"``) instead of queueing.
     initial_deflation_tol / enlarge... reserved knobs kept for CLI parity.
     """
 
@@ -170,6 +199,10 @@ class Options:
     service_pmax: int = 16
     service_flush: str = "batch_full"
     service_cache_entries: int = 32
+    service_mode: str = "sync"
+    service_shards: int = 1
+    service_deadline: float = 0.0
+    service_queue_depth: int = 0
     verbosity: int = 0
     check_invariants: bool = False
     extra: dict[str, Any] = field(default_factory=dict)
@@ -227,6 +260,18 @@ class Options:
             raise OptionError("service_pmax must be >= 1")
         if self.service_cache_entries < 1:
             raise OptionError("service_cache_entries must be >= 1")
+        if self.service_mode not in _SERVICE_MODES:
+            raise OptionError(
+                f"unknown service_mode {self.service_mode!r}; "
+                f"expected one of {_SERVICE_MODES}"
+            )
+        if self.service_shards < 1:
+            raise OptionError("service_shards must be >= 1")
+        if self.service_deadline < 0:
+            raise OptionError("service_deadline must be >= 0 (0 = none)")
+        if self.service_queue_depth < 0:
+            raise OptionError("service_queue_depth must be >= 0 "
+                              "(0 = unbounded)")
         if self.gmres_restart < 1:
             raise OptionError("gmres_restart must be >= 1")
         if self.max_it < 1:
@@ -302,13 +347,23 @@ class Options:
         if self.service_cache_entries != 32:
             args += ["-hpddm_service_cache_entries",
                      str(self.service_cache_entries)]
+        if self.service_mode != "sync":
+            args += ["-hpddm_service_mode", self.service_mode]
+        if self.service_shards != 1:
+            args += ["-hpddm_service_shards", str(self.service_shards)]
+        if self.service_deadline != 0.0:
+            args += ["-hpddm_service_deadline", repr(self.service_deadline)]
+        if self.service_queue_depth != 0:
+            args += ["-hpddm_service_queue_depth",
+                     str(self.service_queue_depth)]
         return args
 
 
 _BOOL_FLAGS = {"recycle_same_system", "check_invariants", "block_reduction"}
 _INT_FIELDS = {"gmres_restart", "recycle", "max_it", "verbosity",
-               "service_pmax", "service_cache_entries"}
-_FLOAT_FIELDS = {"tol", "deflation_tol"}
+               "service_pmax", "service_cache_entries", "service_shards",
+               "service_queue_depth"}
+_FLOAT_FIELDS = {"tol", "deflation_tol", "service_deadline"}
 
 
 def parse_hpddm_args(args: Iterable[str], *, prefix: str = "-hpddm_",

@@ -48,6 +48,9 @@ class Config:
     precond: bool = True
     seed: int = 0
     ortho: str = "cgs"
+    #: route the solve through the service front end: None = direct
+    #: ``repro.solve``, "sync"/"async" = the matching ``make_service``
+    service_mode: str | None = None
 
     def id(self) -> str:
         dt = "c128" if self.dtype is np.complex128 else "f64"
@@ -56,6 +59,8 @@ class Config:
                 f"-{self.strategy}")
         if self.ortho != "cgs":
             base += f"-{self.ortho}"
+        if self.service_mode is not None:
+            base += f"-svc_{self.service_mode}"
         return base
 
     def options(self, *, verify: str = "full", tol: float = 1e-8) -> Options:
@@ -63,6 +68,10 @@ class Config:
         if SOLVERS[self.method]["recycles"]:
             kw["recycle"] = 5
             kw["recycle_strategy"] = self.strategy
+        if self.service_mode is not None:
+            kw["service_mode"] = self.service_mode
+            if self.service_mode == "async":
+                kw["service_shards"] = 2  # exercise the sharded cache
         return Options(krylov_method=self.method, gmres_restart=20, tol=tol,
                        max_it=2000, variant=self.variant if self.precond
                        else "right", exec_mode=self.exec_mode, verify=verify,
@@ -103,6 +112,12 @@ def conformance_matrix(full: bool = False) -> list[Config]:
             add(Config("bgmres", p=3, ortho=scheme))
             add(Config("gcrodr", p=3, ortho=scheme))
             add(Config("gmresdr", p=1, ortho=scheme))
+        # service_mode axis (verify=cheap on this subset — see
+        # assert_conforms): both front ends over a plain and a recycling
+        # solver, block width 3
+        for mode in ("sync", "async"):
+            add(Config("gmres", p=3, service_mode=mode))
+            add(Config("gcrodr", p=3, service_mode=mode))
         return configs
 
     for method, caps in SOLVERS.items():
@@ -123,6 +138,11 @@ def conformance_matrix(full: bool = False) -> list[Config]:
     for method in SOLVERS:
         p = 3 if SOLVERS[method]["block"] else 1
         add(Config(method, p=p, precond=False))
+    # service_mode axis: every solver through both front ends
+    for method in SOLVERS:
+        p = 3 if SOLVERS[method]["block"] else 1
+        for mode in ("sync", "async"):
+            add(Config(method, p=p, service_mode=mode))
     # orthogonalization-scheme sweep: every solver x every non-default
     # scheme, both exec modes, default axes elsewhere
     for method in SOLVERS:
@@ -161,6 +181,24 @@ def make_problem(cfg: Config, n: int = 120):
     return a, b, m
 
 
+def _service_solve(cfg: Config, a, b, m, o: Options):
+    """Drive one config's block solve through ``make_service``."""
+    from repro import as_preconditioner
+    from repro.service import make_service
+
+    svc = make_service(
+        options=o,
+        preconditioner=as_preconditioner(m) if m is not None else None)
+    req = svc.submit(a, b)
+    assert getattr(req, "rejected", None) is None
+    svc.flush()
+    res = svc.result(req)
+    assert res.info["service"]["batch_width"] == cfg.p
+    if cfg.service_mode == "async":
+        assert res.info["service"]["mode"] == "async"
+    return res
+
+
 @dataclass
 class Outcome:
     """Result of driving one config through its oracles."""
@@ -187,9 +225,17 @@ def assert_conforms(cfg: Config, *, verify: str = "full",
     4. recyclers return a recycled space whose basis is orthonormal;
     5. the verify report is attached and clean.
     """
+    if cfg.service_mode is not None:
+        # the service path runs verify at "cheap": the full Arnoldi
+        # re-verification belongs to the direct-solve axis, the service
+        # axis checks the front ends preserve the solve contract
+        verify = "cheap" if verify != "off" else verify
     a, b, m = make_problem(cfg)
     o = cfg.options(verify=verify, tol=tol)
-    res = solve(a, b, m, options=o)
+    if cfg.service_mode is None:
+        res = solve(a, b, m, options=o)
+    else:
+        res = _service_solve(cfg, a, b, m, o)
     out = Outcome(cfg, res)
 
     if not np.all(res.converged):

@@ -41,6 +41,9 @@ def test_service_batching_runs(capsys):
     assert "32 requests" in out
     assert "setup built 2x for 2 operators" in out
     assert "solo" in out
+    assert "async replay (mode=async, shards=2" in out
+    assert "deadline misses 0/32" in out
+    assert "makespan" in out
 
 
 @pytest.mark.slow
