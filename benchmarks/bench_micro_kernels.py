@@ -26,8 +26,10 @@ orthogonalization engine meets its budget (CGS2-1r: <= 2 reductions per
 Arnoldi step and >= 1.5x MGS wall-clock on the 40-block p=8 basis at
 equal final orthogonality), AND the execution-plan compiler honors its
 oracle contract (bit-identical counts and iterates vs the interpreter,
->= 1.5x wall-clock on the full-size 40-step cycle) — the repo's perf
-regression gates.
+>= 1.5x wall-clock on the full-size 40-step cycle), AND sketch-whitened
+recycled-pair maintenance beats the full-space re-derivation by >= 1.5x
+modeled time with zero maintenance reductions per cycle and equal solve
+convergence — the repo's perf regression gates.
 
 Also collectable by pytest (``pytest benchmarks/bench_micro_kernels.py``)
 via :func:`test_fused_not_slower_at_64_ranks`, following the suite's
@@ -272,6 +274,103 @@ def bench_plan(cfg: dict) -> dict:
     return out
 
 
+def bench_recycling(cfg: dict) -> dict:
+    """Full-space vs sketch-whitened recycled-pair maintenance (ISSUE-8).
+
+    Two measurements at m=40, k=16, nranks=64:
+
+    * kernel level — one cycle's maintenance of ``(U_k, C_k)``: the full
+      path re-derives the pair from the operator (a k-column SpMM plus a
+      distributed Householder QR — global reductions, halo p2p and
+      O(nnz k + n k^2) flops); the sketched path assembles the candidate
+      sketch by LOCAL algebra on sketches already held (``S C_k`` from
+      the recycler, ``S V`` from the engine's fused step reductions) and
+      whitens against it — ZERO communication per cycle.  Costs common to
+      both spaces (column norms, the strategy Gram, the eigenproblem)
+      cancel and are excluded.  Gate: >= 1.5x modeled speedup.
+    * solve level — a two-solve ``bgcrodr(m, k)`` recycling sequence
+      under both ``-hpddm_recycle_space`` settings must converge with
+      identical flags and boundedly more iterations, while the sketched
+      run keeps its per-cycle reduction overhead O(1).
+    """
+    from repro import Options
+    from repro import solve as api_solve
+    from repro.krylov.gcrodr import _exact_pair
+    from repro.krylov.sketch_recycle import SketchedRecycler
+    from repro.la.orthogonalization import apply_sketch
+    from repro.perfmodel.estimate import modeled_time
+    from repro.util import ledger as ledger_mod
+    from repro.util.ledger import CostLedger, Kernel
+
+    n, p = cfg["grid"] ** 2, cfg["p"]
+    m_restart, k, nranks, cycles = 40, 16, 64, 8
+    a = (laplacian_2d(cfg["grid"]) + 4.0 * sp.eye(n)).tocsr()
+    dcsr = DistributedCSR(a, VirtualGrid(n, nranks))
+    rng = np.random.default_rng(20260705)
+    u0 = rng.standard_normal((n, k))
+
+    def maintain(space):
+        with use_exec_mode("fused"):
+            with ledger_mod.install():   # setup: common, not measured
+                u, c = _exact_pair(u0, np.empty((n, k)), dcsr.matmat)
+                rec = None
+                if space == "sketched":
+                    # adoption-boundary sketch: amortized once per solve
+                    rec = SketchedRecycler(n=n, max_cols=m_restart + 1)
+                    rec.adopt(u, c)
+            led = CostLedger()
+            with ledger_mod.install(led):
+                for _ in range(cycles):
+                    if rec is None:
+                        u, c = _exact_pair(u, c, dcsr.matmat)
+                    else:
+                        # in-solver the candidate sketch is
+                        # [S C_k | S V] @ qf — local algebra on sketches
+                        # already held; stand in with the deterministic
+                        # sketch and charge the same BLAS3 assembly cost
+                        # (mixing width ~ m basis columns)
+                        sc_raw = apply_sketch(c, rec.s, seed=rec.seed)
+                        led.flop(Kernel.BLAS3, 4.0 * rec.s * m_restart * k)
+                        u, c, ok = rec.whiten_local(u, c, sc_raw)
+                        assert ok
+        return led, led.reductions
+
+    out = {"problem": {"n": n, "p": p, "m": m_restart, "k": k,
+                       "nranks": nranks, "cycles": cycles}}
+    for space in ("full", "sketched"):
+        led, reds = maintain(space)
+        out[space] = {
+            "seconds": _time(lambda: maintain(space), cfg["repeats"]),
+            "modeled_seconds": modeled_time(led, nranks,
+                                            block_width=p).total,
+            "reductions_per_cycle": reds / cycles,
+        }
+    out["modeled_speedup_sketched"] = (
+        out["full"]["modeled_seconds"] / out["sketched"]["modeled_seconds"])
+
+    solves = {}
+    for space in ("full", "sketched"):
+        opts = Options(krylov_method="bgcrodr", gmres_restart=m_restart,
+                       recycle=k, orthogonalization="sketched",
+                       recycle_space=space, tol=1e-8, max_it=400)
+        b = np.random.default_rng(7).standard_normal((n, p))
+        with ledger_mod.install() as led:
+            r1 = api_solve(a, b, options=opts)
+            r2 = api_solve(a, np.negative(b), options=opts,
+                           recycle=r1.info["recycle"], same_system=False)
+        steps = led.calls.get("arnoldi_step", 0)
+        n_cycles = sum(getattr(r, "restarts", 0) + 1 for r in (r1, r2))
+        solves[space] = {
+            "iterations": r1.iterations + r2.iterations,
+            "converged": bool(np.asarray(r1.converged).all()
+                              and np.asarray(r2.converged).all()),
+            "reductions": led.reductions,
+            "overhead_per_cycle": (led.reductions - steps) / n_cycles,
+        }
+    out["solve"] = solves
+    return out
+
+
 def speedups(rows: list[dict]) -> dict[str, dict[str, float]]:
     """speedups[kernel][nranks] = per_rank time / fused time."""
     t = {(r["kernel"], r["nranks"], r["mode"]): r["seconds"] for r in rows}
@@ -288,6 +387,7 @@ def run(cfg: dict, out_path: Path | None) -> dict:
     rows = bench_kernels(cfg)
     ortho = bench_orthogonalization(cfg)
     plan = bench_plan(cfg)
+    recycling = bench_recycling(cfg)
     sched_rows = bench_level_schedule(cfg)
     sched_t = {(r["workload"], r["mode"]): r["seconds"] for r in sched_rows}
     report = {
@@ -304,6 +404,7 @@ def run(cfg: dict, out_path: Path | None) -> dict:
             "schemes": ortho,
         },
         "plan": plan,
+        "recycling": recycling,
         "level_schedule": {
             "results": sched_rows,
             "speedup_frontier_over_reference": {
@@ -354,6 +455,23 @@ def print_report(report: dict) -> None:
               f"fused={stats.get('fused', 0)} "
               f"batched={stats.get('batched', 0)} "
               f"prebound={stats.get('prebound', 0)})")
+    rec = report.get("recycling")
+    if rec:
+        prob = rec["problem"]
+        print(f"\n# recycling: pair maintenance, m={prob['m']} k={prob['k']} "
+              f"n={prob['n']}, nranks={prob['nranks']}")
+        print(f"{'space':>10} {'seconds':>12} {'modeled':>12} {'reds/cyc':>9}")
+        for space in ("full", "sketched"):
+            row = rec[space]
+            print(f"{space:>10} {row['seconds']:>12.3e} "
+                  f"{row['modeled_seconds']:>12.3e} "
+                  f"{row['reductions_per_cycle']:>9.1f}")
+        print(f"{'':>10} modeled speedup "
+              f"{rec['modeled_speedup_sketched']:.2f}x; solve iterations "
+              f"full={rec['solve']['full']['iterations']} "
+              f"sketched={rec['solve']['sketched']['iterations']} "
+              f"(overhead/cycle "
+              f"{rec['solve']['sketched']['overhead_per_cycle']:.2f})")
     sched = report.get("level_schedule")
     if sched:
         st = {(r["workload"], r["mode"]): r for r in sched["results"]}
@@ -372,7 +490,11 @@ def check_gate(report: dict) -> list[str]:
     1. fused must not lose to per-rank at nranks=64 (the exec-mode gate);
     2. the low-sync orthogonalization headline: CGS2-1r builds the
        40-block p=8 basis in <= 2 reductions per step at every depth,
-       >= 1.5x faster than MGS, at equivalent final orthogonality.
+       >= 1.5x faster than MGS, at equivalent final orthogonality;
+    3. the plan compiler's oracle contract and wall-clock win;
+    4. sketched recycling: pair maintenance >= 1.5x modeled speedup with
+       at most one (in practice zero) maintenance reduction per cycle,
+       equal solve convergence, O(1) per-cycle solve overhead.
     """
     failures = []
     for kernel in ("spmm", "col_dots"):
@@ -420,6 +542,30 @@ def check_gate(report: dict) -> list[str]:
         failures.append(f"plan: compiled only "
                         f"{plan['speedup_compiled']:.2f}x over interpret "
                         f"(gate: {target}x)")
+    rec = report.get("recycling")
+    if not rec:
+        failures.append("recycling: no measurements")
+        return failures
+    if rec["modeled_speedup_sketched"] < 1.5:
+        failures.append(f"recycling: sketched maintenance only "
+                        f"{rec['modeled_speedup_sketched']:.2f}x over the "
+                        "full-space re-derivation (gate: 1.5x modeled)")
+    if rec["sketched"]["reductions_per_cycle"] > 1:
+        failures.append(f"recycling: sketched maintenance pays "
+                        f"{rec['sketched']['reductions_per_cycle']:.1f} "
+                        "reductions/cycle (budget: 1)")
+    sv_full, sv_sk = rec["solve"]["full"], rec["solve"]["sketched"]
+    if sv_full["converged"] != sv_sk["converged"]:
+        failures.append("recycling: full and sketched solves disagree on "
+                        "convergence")
+    if sv_sk["iterations"] > 1.75 * sv_full["iterations"] + 5:
+        failures.append(f"recycling: sketched carrying costs "
+                        f"{sv_sk['iterations']} iterations vs "
+                        f"{sv_full['iterations']} full (quality bound)")
+    if sv_sk["overhead_per_cycle"] > 8.0:
+        failures.append(f"recycling: sketched solve overhead "
+                        f"{sv_sk['overhead_per_cycle']:.2f} reductions/cycle "
+                        "beyond one-per-step (O(1) budget: 8)")
     return failures
 
 

@@ -98,6 +98,21 @@ def extract_metrics(kernels: dict, service: dict,
         "kind": "exact"}
     m["plan_optimizer_fused"] = {
         "value": int(plan["optimizer"]["fused"]), "kind": "exact"}
+    rec = kernels["recycling"]
+    # ledger-derived through the performance model: deterministic for a
+    # fixed config, like the service metrics
+    m["recycle_modeled_speedup_sketched"] = {
+        "value": float(rec["modeled_speedup_sketched"]), "kind": "modeled"}
+    m["recycle_reductions_per_cycle_sketched"] = {
+        "value": float(rec["sketched"]["reductions_per_cycle"]),
+        "kind": "exact"}
+    m["recycle_solve_overhead_per_cycle"] = {
+        "value": float(rec["solve"]["sketched"]["overhead_per_cycle"]),
+        "kind": "modeled"}
+    m["recycle_solve_convergence_equal"] = {
+        "value": int(rec["solve"]["full"]["converged"]
+                     == rec["solve"]["sketched"]["converged"]),
+        "kind": "exact"}
     m["service_amortized_speedup"] = {
         "value": float(service["amortized_speedup"]), "kind": "modeled"}
     m["service_setup_builds_coalesced"] = {
@@ -174,6 +189,17 @@ def bootstrap_floors(current: dict[str, dict]) -> list[str]:
     if current["plan_compiled_speedup"]["value"] < 1.0:
         failures.append("plan_compiled_speedup < 1.0 "
                         "(compiled slower than the interpreter)")
+    if current["recycle_modeled_speedup_sketched"]["value"] < 1.5:
+        failures.append("recycle_modeled_speedup_sketched < 1.5")
+    if current["recycle_reductions_per_cycle_sketched"]["value"] > 1.0:
+        failures.append("recycle_reductions_per_cycle_sketched > 1 "
+                        "(sketched maintenance must be O(1) communication)")
+    if current["recycle_solve_overhead_per_cycle"]["value"] > 8.0:
+        failures.append("recycle_solve_overhead_per_cycle > 8 "
+                        "(per-cycle reduction overhead must stay O(1))")
+    if current["recycle_solve_convergence_equal"]["value"] != 1:
+        failures.append("recycle_solve_convergence_equal != 1 "
+                        "(full and sketched spaces disagree on convergence)")
     if "traffic_async_speedup" in current:
         if current["traffic_async_speedup"]["value"] < 1.5:
             failures.append("traffic_async_speedup < 1.5")

@@ -15,7 +15,8 @@ import numpy as np
 
 from ..la.blockqr import BlockHessenbergQR
 from ..la.orthogonalization import (LOW_SYNC_SCHEMES, make_arnoldi_engine,
-                                    project_out, qr_factorization)
+                                    project_out, qr_factorization,
+                                    sketch_size)
 from ..trace import tracer as trace
 from ..util import ledger
 from ..util.misc import column_norms, default_rng
@@ -75,6 +76,8 @@ class CycleState:
     breakdown: bool = False
     converged_early: bool = False
     plan_stats: dict | None = None        # optimizer counters (compiled only)
+    e0: np.ndarray | None = None          # C^H v1 seed projection (low-sync)
+    sketch: object | None = None          # SketchState (sketched scheme only)
 
     def v_stack(self, count: int | None = None) -> np.ndarray:
         blocks = self.v_blocks if count is None else self.v_blocks[:count]
@@ -102,6 +105,7 @@ def block_arnoldi_cycle(op_apply, inner_m, v1: np.ndarray, s1: np.ndarray, *,
                         identity_m: bool = False,
                         iteration_budget: int | None = None,
                         plan: str = "interpret",
+                        sck: np.ndarray | None = None,
                         ) -> CycleState:
     """Run up to ``max_steps`` block-Arnoldi iterations.
 
@@ -129,6 +133,12 @@ def block_arnoldi_cycle(op_apply, inner_m, v1: np.ndarray, s1: np.ndarray, *,
         execution plan (``repro.plan``) for the low-synchronization
         schemes — bit-identical counts and iterates, interpreter as
         oracle.  Legacy schemes (cgs/imgs/mgs) always interpret.
+    sck:
+        pre-sketched recycled space ``S C_k`` maintained by the sketched
+        recycler (``recycle_space="sketched"`` only).  When supplied, the
+        seed projection ``C_k^H v1`` and the sketch of ``v1`` assemble in
+        ONE fused prologue reduction instead of two, and the seed
+        coefficients are exposed as ``state.e0``.
     """
     if plan == "compiled" and ortho in LOW_SYNC_SCHEMES:
         from ..plan.block_cycle import compiled_block_arnoldi_cycle
@@ -136,7 +146,7 @@ def block_arnoldi_cycle(op_apply, inner_m, v1: np.ndarray, s1: np.ndarray, *,
             op_apply, inner_m, v1, s1, max_steps=max_steps, ck=ck,
             ortho=ortho, qr_scheme=qr_scheme, deflation_tol=deflation_tol,
             targets=targets, history=history, identity_m=identity_m,
-            iteration_budget=iteration_budget)
+            iteration_budget=iteration_budget, sck=sck)
     dtype = v1.dtype
     p = v1.shape[1]
     led = ledger.current()
@@ -147,27 +157,43 @@ def block_arnoldi_cycle(op_apply, inner_m, v1: np.ndarray, s1: np.ndarray, *,
     # in at most two stacked reductions per step (one for ``sketched``)
     # instead of the legacy path's separate project_out + QR round trips.
     engine = None
+    e0 = None
     if ortho in LOW_SYNC_SCHEMES:
         k = ck.shape[1] if ck is not None else 0
-        if k:
-            # The stacked projector treats [C_k | V] as one orthonormal
-            # basis, so v1 must be C_k-orthogonal when the engine starts.
-            # The caller's residual only satisfies C^H r = 0 up to the
-            # previous cycle's least-squares roundoff, and that cross term
-            # compounds across cycles and same-system solves; one fused
-            # projection per cycle caps the seed at rounding level.  The
-            # removed component is O(drift), so no renormalization is
-            # needed (and v1 @ s1 = r is preserved to the same order).
+        max_cols = (max_steps + 1) * p + k
+        if sck is not None and k and ortho == "sketched":
+            # Sketched recycling: ``S C_k`` is maintained across cycles by
+            # the recycler, so the seed projection C_k^H v1 and the sketch
+            # of v1 are the only global row sums left in the prologue —
+            # they assemble in ONE fused reduction instead of two.
+            s_dim = int(sck.shape[0])
             e0 = np.asarray(ck).conj().T @ v1
             v1 = v1 - ck @ e0
             led.flop(ledger.Kernel.BLAS3, 4.0 * v1.shape[0] * k * p)
-            led.reduction(nbytes=k * p * v1.itemsize)
-        engine = make_arnoldi_engine(ortho, tol=deflation_tol,
-                                     max_cols=(max_steps + 1) * p + k)
-        engine.begin(v1, ck)
+            led.reduction(nbytes=(s_dim + k) * p * v1.itemsize)
+            engine = make_arnoldi_engine(ortho, tol=deflation_tol,
+                                         max_cols=max_cols)
+            engine.begin_recycled(v1, ck, sck)
+        else:
+            if k:
+                # The stacked projector treats [C_k | V] as one orthonormal
+                # basis, so v1 must be C_k-orthogonal when the engine starts.
+                # The caller's residual only satisfies C^H r = 0 up to the
+                # previous cycle's least-squares roundoff, and that cross term
+                # compounds across cycles and same-system solves; one fused
+                # projection per cycle caps the seed at rounding level.  The
+                # removed component is O(drift), so no renormalization is
+                # needed (and v1 @ s1 = r is preserved to the same order).
+                e0 = np.asarray(ck).conj().T @ v1
+                v1 = v1 - ck @ e0
+                led.flop(ledger.Kernel.BLAS3, 4.0 * v1.shape[0] * k * p)
+                led.reduction(nbytes=k * p * v1.itemsize)
+            engine = make_arnoldi_engine(ortho, tol=deflation_tol,
+                                         max_cols=max_cols)
+            engine.begin(v1, ck)
 
     hqr = BlockHessenbergQR(max_steps, p, np.asarray(s1, dtype=dtype), dtype=dtype)
-    state = CycleState(v_blocks=[v1], z_blocks=[], hqr=hqr)
+    state = CycleState(v_blocks=[v1], z_blocks=[], hqr=hqr, e0=e0)
 
     steps = max_steps
     if iteration_budget is not None:
@@ -216,4 +242,6 @@ def block_arnoldi_cycle(op_apply, inner_m, v1: np.ndarray, s1: np.ndarray, *,
         if targets is not None and np.all(res <= targets):
             state.converged_early = True
             break
+    if engine is not None and hasattr(engine, "export_state"):
+        state.sketch = engine.export_state()
     return state

@@ -40,9 +40,11 @@ from ..verify import checker_for
 from .base import (ConvergenceHistory, IdentityPreconditioner, SolveResult,
                    as_operator, initial_state, residual_targets)
 from .cycle import block_arnoldi_cycle, complete_block
-from .deflation import generalized_ritz_vectors, harmonic_ritz_vectors
+from .deflation import (generalized_ritz_vectors, harmonic_ritz_vectors,
+                        sketched_harmonic_ritz_vectors)
 from .gmres import setup_preconditioning
 from .recycling import RecycledSubspace
+from .sketch_recycle import SketchedRecycler, sketch_drift_probe
 
 __all__ = ["gcrodr"]
 
@@ -98,25 +100,41 @@ def _exact_pair(u_k: np.ndarray, c_k: np.ndarray, op_apply
 
 
 def _tidy_pair(u_k: np.ndarray, c_k: np.ndarray, op_apply, scheme: str
-               ) -> tuple[np.ndarray, np.ndarray]:
+               ) -> tuple[np.ndarray, np.ndarray, bool]:
     """Scheme-dependent recycled-pair repair after a harvest or update.
 
-    Inexact-basis schemes need the full operator re-derivation
-    (:func:`_exact_pair`).  ``cgs2_1r`` keeps an exact basis but is held to
-    a *tighter* orthonormality ceiling than restart-compounded ``C_k^H C_k``
-    drift allows (the update path mixes ``[C V]`` and amplifies incoming
-    error geometrically), so one QR of ``C_k`` resets its orthonormality
-    while preserving ``A U_k = C_k`` exactly: ``C = Q2 R  =>
-    A (U R^-1) = Q2``.  The exact single/two-pass schemes are left alone —
-    their looser ceiling absorbs the drift, matching historical behavior.
+    Inexact-basis schemes used to take the full operator re-derivation
+    (:func:`_exact_pair`) unconditionally; now the repair is *drift-gated*:
+    a one-reduction sketch-space probe estimates ``||C^H C - I||/sqrt(k)``
+    and the expensive re-derivation only runs (under a ``recycle_repair``
+    trace span) when the estimate exceeds the scheme's registry ceiling.
+    ``cgs2_1r`` keeps an exact basis but is held to a *tighter*
+    orthonormality ceiling than restart-compounded ``C_k^H C_k`` drift
+    allows (the update path mixes ``[C V]`` and amplifies incoming error
+    geometrically), so one QR of ``C_k`` resets its orthonormality while
+    preserving ``A U_k = C_k`` exactly: ``C = Q2 R  =>  A (U R^-1) = Q2``.
+    The exact single/two-pass schemes are left alone — their looser
+    ceiling absorbs the drift, matching historical behavior.
+
+    Returns ``(u, c, exact)``: ``exact=False`` means the gate skipped the
+    repair, so the caller owes one :func:`_exact_pair` at the solve's
+    adoption boundary before packaging the space.
     """
     info = SCHEMES[scheme]
     if not info.exact_basis:
-        return _exact_pair(u_k, c_k, op_apply)
+        if c_k.shape[1] == 0:
+            return u_k, c_k, True
+        drift = sketch_drift_probe(c_k)
+        if drift <= info.orth_tol:
+            return u_k, c_k, False
+        with trace.current().span("recycle_repair", kind="drift"):
+            ledger.current().event("recycle_repair")
+            u2, c2 = _exact_pair(u_k, c_k, op_apply)
+        return u2, c2, True
     if scheme in LOW_SYNC_SCHEMES and c_k.shape[1]:
         q2, rfac = householder_qr(c_k)
-        return _project_solve(u_k, rfac), q2
-    return u_k, c_k
+        return _project_solve(u_k, rfac), q2, True
+    return u_k, c_k, True
 
 
 def _gram_reduce(x: np.ndarray, y: np.ndarray) -> np.ndarray:
@@ -182,6 +200,38 @@ def gcrodr(a, b, m=None, *, options: Options | None = None,
     u_k: np.ndarray | None = None
     c_k: np.ndarray | None = None
 
+    # Sketched recycling: the pair travels sketch-whitened; the recycler's
+    # sketch dimension is what the Arnoldi engine adopts (via the ``sck``
+    # it is handed), so both live in the same SRHT image.
+    sketched_mode = options.recycle_space == "sketched"
+    skr = SketchedRecycler(n=n, max_cols=(inner_steps + 1) * p + k) \
+        if sketched_mode else None
+    pair_exact = True
+
+    def _sketch_tidy(u: np.ndarray, c: np.ndarray,
+                     sc_raw: np.ndarray | None = None
+                     ) -> tuple[np.ndarray, np.ndarray, bool]:
+        """Sketch-whitened repair with the lazy full-space fallback.
+
+        When the caller hands a locally derived candidate sketch
+        (``S C_new`` assembled from the maintained ``S C_k`` and the
+        engine's ``S V``) the whitening is communication-free; without
+        one (breakdown cycles with a short engine state) the recycler
+        re-sketches, paying one assembly reduction.
+        """
+        if sc_raw is not None:
+            u2, c2, ok = skr.whiten_local(u, c, sc_raw)
+        else:
+            u2, c2, ok = skr.whiten(u, c)
+        if ok:
+            return u2, c2, False
+        with tr.span("recycle_repair", kind="sketch_drift"):
+            led.event("recycle_repair")
+            skr.repairs += 1
+            u2, c2 = _exact_pair(u, c, op_apply)
+            skr.adopt(u2, c2)
+        return u2, c2, True
+
     def _explicit_residual() -> np.ndarray:
         if left_m is None:
             return b2 - op_apply(x)
@@ -241,6 +291,10 @@ def gcrodr(a, b, m=None, *, options: Options | None = None,
             chk.check_recycle(u_k, c_k, op_apply=op_apply,
                               what="adopted recycle space"
                               + (" (same-system skip)" if same_system else ""))
+            if sketched_mode:
+                # adoption boundary: one fused reduction sketches the
+                # (exactly orthonormal) pair for the whole solve
+                skr.adopt(u_k, c_k)
             # lines 8-9: project the initial residual onto the recycled space
             chr0 = _gram_reduce(c_k, r)
             x += u_k @ chr0
@@ -302,11 +356,26 @@ def gcrodr(a, b, m=None, *, options: Options | None = None,
                                                     history.rhs_norms, 1.0)
                 # lines 16-20: harvest the recycled space
                 hbar = state.hqr.hessenberg()
+                sk = state.sketch
+                use_sketch_eig = (sketched_mode and sk is not None
+                                  and not state.breakdown
+                                  and sk.qs.shape[1] == hbar.shape[0])
                 with tr.span("eig", kind="harmonic_ritz"):
-                    pk = harmonic_ritz_vectors(
-                        hbar, state.hqr.triangular(),
-                        state.hqr.last_subdiagonal_block(),
-                        p, k, dtype=dtype, target=options.recycle_target)
+                    if use_sketch_eig:
+                        # harmonic Ritz of the *sketched* LS problem: the
+                        # basis Gram G_V = (S V)^H (S V) is local algebra
+                        # on the engine's whitened sketch state
+                        t0 = sk.t0
+                        gv = np.eye(hbar.shape[0], dtype=dtype)
+                        gv[:t0.shape[0], :t0.shape[0]] = t0.conj().T @ t0
+                        pk = sketched_harmonic_ritz_vectors(
+                            hbar, gv, k, dtype=dtype,
+                            target=options.recycle_target)
+                    else:
+                        pk = harmonic_ritz_vectors(
+                            hbar, state.hqr.triangular(),
+                            state.hqr.last_subdiagonal_block(),
+                            p, k, dtype=dtype, target=options.recycle_target)
                 if pk.shape[1]:
                     with tr.span("recycle_update", kind="harvest"):
                         qf, s = _harvest(hbar, pk)
@@ -315,8 +384,21 @@ def gcrodr(a, b, m=None, *, options: Options | None = None,
                         u_k = z @ s
                         led.flop(Kernel.BLAS3,
                                  4.0 * n * vstack.shape[1] * qf.shape[1])
-                        u_k, c_k = _tidy_pair(u_k, c_k, op_apply,
-                                              options.orthogonalization)
+                        if sketched_mode:
+                            sc_raw = None
+                            if use_sketch_eig:
+                                sv = sk.sketched_basis()
+                                if sv.shape[1] == vstack.shape[1]:
+                                    # S C_new = (S V) qf: local algebra
+                                    sc_raw = sv @ qf
+                                    led.flop(Kernel.BLAS3,
+                                             4.0 * sv.shape[0]
+                                             * sv.shape[1] * qf.shape[1])
+                            u_k, c_k, pair_exact = _sketch_tidy(
+                                u_k, c_k, sc_raw)
+                        else:
+                            u_k, c_k, pair_exact = _tidy_pair(
+                                u_k, c_k, op_apply, options.orthogonalization)
                     chk.check_recycle(u_k, c_k, op_apply=op_apply,
                                       what="harvested recycle space")
 
@@ -357,7 +439,9 @@ def gcrodr(a, b, m=None, *, options: Options | None = None,
             if rank < p:
                 breakdown_seen = True
                 v1 = complete_block(v1, rank, against=[c_k])
-            chr_prev = _gram_reduce(c_k, r)          # C_k^H R_{j-1} (line 28, 1st term)
+            chr_prev = None
+            if not sketched_mode:
+                chr_prev = _gram_reduce(c_k, r)      # C_k^H R_{j-1} (line 28, 1st term)
             # line 26: m-k steps of (block) GMRES on (I - C C^H) A
             with tr.span("cycle", index=cycles, kind="gcrodr",
                          same_system=bool(same_system)):
@@ -367,7 +451,8 @@ def gcrodr(a, b, m=None, *, options: Options | None = None,
                     deflation_tol=options.deflation_tol, targets=targets,
                     history=history, identity_m=identity_m,
                     iteration_budget=options.max_it - total_it,
-                    plan=options.plan)
+                    plan=options.plan,
+                    sck=skr.sc if sketched_mode else None)
             total_it += state.steps
             cycles += 1
             breakdown_seen |= state.breakdown
@@ -377,8 +462,16 @@ def gcrodr(a, b, m=None, *, options: Options | None = None,
             with tr.span("least_squares"):
                 y = state.hqr.solve()                # (jp x p)
                 ek = state.ek_matrix()               # (k x jp)
-                yk = chr_prev - ek @ y               # line 28 (one small gemm
-                led.reduction(nbytes=k_cur * p * 8)  #  + §III-D's reduction)
+                if sketched_mode:
+                    # C^H R_{j-1} = (C^H v1) s1: local algebra on the seed
+                    # coefficients that rode the fused prologue reduction —
+                    # line 28's first term costs no extra communication
+                    chr_prev = state.e0 @ np.asarray(s1, dtype=dtype)
+                    led.flop(Kernel.BLAS3, 2.0 * k_cur * p * p)
+                    yk = chr_prev - ek @ y           # line 28
+                else:
+                    yk = chr_prev - ek @ y           # line 28 (one small gemm
+                    led.reduction(nbytes=k_cur * p * 8)  # + §III-D's reduction)
                 z = state.z_stack(state.steps)
                 x += u_k @ yk + z @ y
                 led.flop(Kernel.BLAS3, 2.0 * n * (k_cur + z.shape[1]) * p)
@@ -400,19 +493,47 @@ def gcrodr(a, b, m=None, *, options: Options | None = None,
                 with tr.span("recycle_update",
                              strategy=options.recycle_strategy):
                     led.event("recycle_update")
-                    dk = column_norms(u_k)           # line 32
-                    led.reduction(nbytes=k_cur * 8)
-                    dk_safe = np.where(dk > 0, dk, 1.0)
-                    u_tilde = u_k / dk_safe
                     hbar = state.hqr.hessenberg()    # ((j+1)p x jp)
                     jp = hbar.shape[1]
+                    sk = state.sketch if sketched_mode else None
+                    # the sketch-space update needs the engine state to
+                    # cover the whole basis (a breakdown fallback leaves it
+                    # one block short) — otherwise run the full-space
+                    # machinery for this rare cycle and re-sketch after
+                    use_sketch = (sk is not None and not state.breakdown
+                                  and skr.sc is not None
+                                  and skr.sc.shape[1] == k_cur
+                                  and sk.qs.shape[1] == hbar.shape[0])
+                    dk = column_norms(u_k)           # line 32: one k-float
+                    led.reduction(nbytes=k_cur * 8)  # reduction, O(1) in m
+                    dk_safe = np.where(dk > 0, dk, 1.0)
+                    u_tilde = u_k / dk_safe
                     gm = np.zeros((k_cur + hbar.shape[0], k_cur + jp),
                                   dtype=dtype)
                     gm[:k_cur, :k_cur] = np.diag((1.0 / dk_safe).astype(dtype))
                     gm[:k_cur, k_cur:] = ek
                     gm[k_cur:, k_cur:] = hbar
+                    # W (line 33): strategy B is communication-free in
+                    # either space; strategy A pays its one fused Gram
+                    # reduction — the cross-Gram [C_k V]^H U_tilde has no
+                    # sketch-side substitute because U's candidates mix in
+                    # the (never sketched) preconditioned directions Z
                     w = _strategy_w(options.recycle_strategy, gm, c_k,
                                     state.v_stack(), u_tilde, k_cur, jp)
+                    scv = None
+                    if use_sketch:
+                        # S [C_k | V] reconstructed locally from the
+                        # maintained S C_k and the engine's whitened state
+                        # — used below to derive the candidate sketch;
+                        # the eigenproblem itself uses the plain Gram:
+                        # after whitening, C_k and V are both
+                        # sketch-orthonormal, so weighting by the sketch
+                        # cross-Gram would square the embedding
+                        # distortion (measured to destabilize the
+                        # selection for k ≳ m/3; see
+                        # ablation_sketched_recycle)
+                        scv = np.concatenate(
+                            [skr.sc, sk.sketched_basis()], axis=1)
                     with tr.span("eig", kind="generalized_ritz"):
                         pk = generalized_ritz_vectors(
                             gm, w, k, dtype=dtype,
@@ -425,8 +546,19 @@ def gcrodr(a, b, m=None, *, options: Options | None = None,
                         u_k = uz @ s                 # line 37
                         led.flop(Kernel.BLAS3,
                                  4.0 * n * cv.shape[1] * qf.shape[1])
-                        u_k, c_k = _tidy_pair(u_k, c_k, op_apply,
-                                              options.orthogonalization)
+                        if sketched_mode:
+                            sc_raw = None
+                            if scv is not None and scv.shape[1] == qf.shape[0]:
+                                # S C_new = (S [C_k V]) qf: local algebra
+                                sc_raw = scv @ qf
+                                led.flop(Kernel.BLAS3,
+                                         4.0 * scv.shape[0]
+                                         * scv.shape[1] * qf.shape[1])
+                            u_k, c_k, pair_exact = _sketch_tidy(
+                                u_k, c_k, sc_raw)
+                        else:
+                            u_k, c_k, pair_exact = _tidy_pair(
+                                u_k, c_k, op_apply, options.orthogonalization)
                         chk.check_recycle(u_k, c_k, op_apply=op_apply,
                                           what="updated recycle space")
 
@@ -440,12 +572,23 @@ def gcrodr(a, b, m=None, *, options: Options | None = None,
                                    what=f"GCRO-DR restart {cycles}")
         history.records[-1] = rn / np.where(history.rhs_norms > 0,
                                             history.rhs_norms, 1.0)
-        if options.check_invariants and u_k is not None and u_k.shape[1]:
+        if options.check_invariants and u_k is not None and u_k.shape[1] \
+                and pair_exact:
             check_recycle_invariants(op_apply, u_k, c_k)
 
     # package the (possibly updated) recycled space for the next solve
     out_recycle = None
     if u_k is not None and u_k.shape[1]:
+        if not pair_exact:
+            # adoption boundary: consumers of a packaged RecycledSubspace
+            # (the next solve's adoption fast path, the setup cache) expect
+            # an exactly orthonormal pair — run the deferred repair once
+            with tr.span("recycle_repair", kind="adoption_boundary"):
+                led.event("recycle_repair")
+                u_k, c_k = _exact_pair(u_k, c_k, op_apply)
+            pair_exact = True
+            chk.check_recycle(u_k, c_k, op_apply=op_apply,
+                              what="packaged recycle space")
         out_recycle = RecycledSubspace(u_k, c_k, op_tag=a.tag,
                                        meta={"variant": options.variant,
                                              "k": u_k.shape[1]})
@@ -521,3 +664,4 @@ def _strategy_w(strategy: str, gm: np.ndarray, c_k: np.ndarray,
     wrhs[:, :k] = coeff
     wrhs[k:, k:] = np.eye(rows - k, jp, dtype=gm.dtype)
     return gm.conj().T @ wrhs
+

@@ -32,9 +32,11 @@ from ..verify import checker_for
 from .base import (ConvergenceHistory, IdentityPreconditioner, SolveResult,
                    as_operator, initial_state, residual_targets)
 from .deflation import harmonic_ritz_vectors, generalized_ritz_vectors
-from .gcrodr import _harvest, _project_solve, _strategy_w, _tidy_pair
+from .gcrodr import (_exact_pair, _harvest, _project_solve, _strategy_w,
+                     _tidy_pair)
 from .gmres import setup_preconditioning
 from .recycling import RecycledSubspace
+from .sketch_recycle import SketchedRecycler
 
 __all__ = ["pgcrodr", "PseudoBlockRecycle"]
 
@@ -63,6 +65,25 @@ class PseudoBlockRecycle:
     def matches_fingerprint(self, fingerprint) -> bool:
         """Value-level match (stricter than ``matches_operator``)."""
         return self.fingerprint is not None and self.fingerprint == fingerprint
+
+
+def _sketch_tidy_column(rec: SketchedRecycler, u: np.ndarray, c: np.ndarray,
+                        op_apply) -> tuple[np.ndarray, np.ndarray, bool]:
+    """Sketch-whiten one column's fresh pair, falling back to exact repair.
+
+    Returns ``(u, c, exact)`` with the same contract as the block solver's
+    ``_sketch_tidy``: ``exact=False`` means the pair is sketch-whitened
+    only, and the caller owes one :func:`_exact_pair` before packaging.
+    """
+    u2, c2, ok = rec.whiten(u, c)
+    if ok:
+        return u2, c2, False
+    with trace.current().span("recycle_repair", kind="sketch_drift"):
+        ledger.current().event("recycle_repair")
+        rec.repairs += 1
+        u2, c2 = _exact_pair(u, c, op_apply)
+        rec.adopt(u2, c2)
+    return u2, c2, True
 
 
 class _Column:
@@ -124,6 +145,17 @@ def pgcrodr(a, b, m=None, *, options: Options | None = None,
     cycles = 0
 
     cols = [_Column(l, dtype) for l in range(p)]
+    # sketched recycle carrying: one recycler (maintained S U_l, S C_l) per
+    # column; whitening replaces the per-cycle full-space re-derivation and
+    # the exact repair is deferred to the packaging boundary
+    sketched_mode = options.recycle_space == "sketched"
+    skr_cols: list[SketchedRecycler | None] = [None] * p
+    pair_exact = [True] * p
+
+    def _col_recycler(l: int) -> SketchedRecycler:
+        if skr_cols[l] is None:
+            skr_cols[l] = SketchedRecycler(n=n, max_cols=m_restart + 1 + k)
+        return skr_cols[l]
 
     # ---- adopt incoming recycled spaces ---------------------------------
     if recycle is not None and recycle.p == p:
@@ -397,8 +429,13 @@ def pgcrodr(a, b, m=None, *, options: Options | None = None,
                             np.column_stack([z[i, :, l] for i in range(jc)])
                         col.c = vstack @ qf
                         col.u = zstack @ s
-                        col.u, col.c = _tidy_pair(col.u, col.c, op_apply,
-                                                  options.orthogonalization)
+                        if sketched_mode:
+                            col.u, col.c, pair_exact[l] = _sketch_tidy_column(
+                                _col_recycler(l), col.u, col.c, op_apply)
+                        else:
+                            col.u, col.c, pair_exact[l] = _tidy_pair(
+                                col.u, col.c, op_apply,
+                                options.orthogonalization)
                         chk.check_recycle(
                             col.u, col.c, op_apply=op_apply,
                             what=f"harvested recycle space (column {l})")
@@ -406,6 +443,9 @@ def pgcrodr(a, b, m=None, *, options: Options | None = None,
                 with tr.span("recycle_update", column=l,
                              strategy=options.recycle_strategy):
                     led.event("recycle_update")
+                    rec = _col_recycler(l) if sketched_mode else None
+                    # exact column norms: one tiny k*8-byte reduction,
+                    # O(1) in the restart length either way
                     dk = np.linalg.norm(col.u, axis=0)
                     led.reduction(nbytes=col.k * 8)
                     dk_safe = np.where(dk > 0, dk, 1.0)
@@ -434,13 +474,29 @@ def pgcrodr(a, b, m=None, *, options: Options | None = None,
                         uz = np.concatenate([u_tilde, zstack], axis=1)
                         col.c = cv @ qf
                         col.u = uz @ s
-                        col.u, col.c = _tidy_pair(col.u, col.c, op_apply,
-                                                  options.orthogonalization)
+                        if sketched_mode:
+                            col.u, col.c, pair_exact[l] = _sketch_tidy_column(
+                                rec, col.u, col.c, op_apply)
+                        else:
+                            col.u, col.c, pair_exact[l] = _tidy_pair(
+                                col.u, col.c, op_apply,
+                                options.orthogonalization)
                         chk.check_recycle(
                             col.u, col.c, op_apply=op_apply,
                             what=f"updated recycle space (column {l})")
         if harvesting and any(col.u is not None for col in cols):
             have_recycle = True
+
+    for l, col in enumerate(cols):
+        if col.u is not None and col.u.shape[1] and not pair_exact[l]:
+            # adoption boundary: packaged spaces must be exactly orthonormal
+            with tr.span("recycle_repair", kind="adoption_boundary",
+                         column=l):
+                led.event("recycle_repair")
+                col.u, col.c = _exact_pair(col.u, col.c, op_apply)
+            pair_exact[l] = True
+            chk.check_recycle(col.u, col.c, op_apply=op_apply,
+                              what=f"packaged recycle space (column {l})")
 
     spaces = [RecycledSubspace(col.u, col.c, op_tag=a.tag)
               if col.u is not None else None for col in cols]

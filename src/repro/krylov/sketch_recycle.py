@@ -1,0 +1,197 @@
+"""Sketch-whitened carrying of the recycled pair ``(U_k, C_k)``.
+
+With ``-hpddm_recycle_space sketched`` GCRO-DR stops re-deriving the pair
+in the full space every cycle (``_tidy_pair``'s ``[Q,R] = qr(A U_k)``, one
+operator application plus a distributed QR).  Instead the pair travels in
+*sketch-whitened* form: the recycler maintains the sketch ``S C_k`` under
+the same seeded SRHT the sketched Arnoldi engine uses, and each
+harvest/update re-orthonormalizes the fresh candidates against the
+**sketch** inner product.
+
+The candidates are linear combinations of columns whose sketches are
+already held locally — ``S C_k`` (maintained here) and ``S V`` (the
+engine's per-step fused reductions) — so the candidate sketch
+``S C_new = [S C_k | S V] @ coeffs`` is *local algebra*: the whitening
+step (:meth:`SketchedRecycler.whiten_local`) costs ZERO reductions.  The
+re-sketching variant (:meth:`SketchedRecycler.whiten`) pays one ``s x k``
+assembly reduction and exists for callers without an engine sketch state
+(the pseudo-block per-column path) and as the refresh at adoption
+boundaries (:meth:`SketchedRecycler.adopt`).
+
+Because the whitening multiplies ``U`` and ``C`` by the same triangular
+factor, the exact map ``A U_k = C_k`` survives verbatim; only the
+orthonormality of ``C_k`` is relaxed from machine precision to the sketch
+distortion ``eps_s / (1 - eps_s)`` (zero when ``s = n``).  The full-space
+re-derivation becomes a *lazy repair*: it runs only when the whitening
+factor signals drift (rank loss in sketch space), charged honestly under
+a ``recycle_repair`` trace span, and once at the solve's adoption
+boundary so packaged/recycled spaces are exactly orthonormal again.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+
+from ..la.orthogonalization import apply_sketch, sketch_size
+from ..util import ledger
+from ..util.ledger import Kernel
+
+__all__ = ["SketchedRecycler", "sketch_drift", "sketch_drift_probe"]
+
+
+def sketch_drift(sc: np.ndarray) -> float:
+    """Scaled orthonormality drift ``||sc^H sc - I|| / sqrt(k)`` (local)."""
+    k = sc.shape[1]
+    if k == 0:
+        return 0.0
+    g = sc.conj().T @ sc
+    return float(np.linalg.norm(g - np.eye(k, dtype=g.dtype)) / np.sqrt(k))
+
+
+def sketch_drift_probe(c_k: np.ndarray, *, seed: int = 0) -> float:
+    """One-reduction sketch-space estimate of the drift of a *full* basis.
+
+    Used by the drift-gated ``_tidy_pair``: for inexact schemes the exact
+    full-space repair (operator application + distributed QR) is skipped
+    whenever this estimate stays below the scheme's registry tolerance.
+    Cost: the single reduction assembling the ``s x k`` sketch.
+    """
+    n, k = c_k.shape
+    if k == 0:
+        return 0.0
+    s = sketch_size(n, max(k, 1))
+    ledger.current().reduction(nbytes=s * k * c_k.itemsize)
+    sc = apply_sketch(c_k, s, seed=seed)
+    return sketch_drift(sc)
+
+
+class SketchedRecycler:
+    """Maintains ``S C_k`` and performs the sketch-whitened repair.
+
+    The sketch dimension matches the Arnoldi engine's
+    (``sketch_size(n, max_cols)`` with the same seed), so the maintained
+    ``S C_k`` can be handed straight to
+    :meth:`~repro.la.orthogonalization._SketchedEngine.begin_recycled` —
+    the cycle prologue then needs a single fused reduction.
+    """
+
+    #: relative diagonal floor of the whitening factor below which the
+    #: sketch-space repair is abandoned for the exact full-space one
+    repair_rtol = 1e-10
+
+    #: every ``refresh_every``-th whitening re-sketches the candidates
+    #: (one ``s x k`` reduction) instead of trusting the local algebra:
+    #: the maintained ``S C_k`` and the true sketch of the carried ``C_k``
+    #: round differently (s-space vs n-space triangular solves), and a
+    #: bounded cadence keeps that gap from compounding over long runs
+    #: while the amortized cost stays a fraction of the full path's
+    #: per-cycle drift probe (selection quality is insensitive to the
+    #: period on every measured problem; see
+    #: ``benchmarks/results/ablation_sketched_recycle.txt``)
+    refresh_every = 8
+
+    def __init__(self, *, n: int, max_cols: int, seed: int = 0):
+        self.n = n
+        self.s = sketch_size(n, max_cols)
+        self.seed = seed
+        self.sc: np.ndarray | None = None
+        self.repairs = 0
+        self._since_refresh = 0
+
+    @property
+    def k(self) -> int:
+        return 0 if self.sc is None else self.sc.shape[1]
+
+    # -- sketching --------------------------------------------------------
+    def _sketch_c(self, c_k: np.ndarray) -> np.ndarray:
+        """Sketch ``C_k`` in one ``s x k`` assembly reduction."""
+        ledger.current().reduction(
+            nbytes=self.s * c_k.shape[1] * c_k.itemsize)
+        return np.ascontiguousarray(
+            apply_sketch(c_k, self.s, seed=self.seed))
+
+    def adopt(self, u_k: np.ndarray, c_k: np.ndarray) -> np.ndarray:
+        """Sketch an exactly orthonormalized pair (adoption boundary).
+
+        One reduction; returns the maintained ``S C_k`` for the engine.
+        """
+        self.sc = self._sketch_c(c_k)
+        self._since_refresh = 0
+        return self.sc
+
+    # -- lazy repair ------------------------------------------------------
+    def needs_repair(self, t_c: np.ndarray) -> bool:
+        """Drift detector: near rank loss of the whitening factor.
+
+        Monkeypatchable seam for the mutation tests — disabling it must
+        make the runtime verifier trip under forced drift.
+        """
+        d = np.abs(np.diagonal(t_c))
+        if d.size == 0:
+            return False
+        ref = float(d.max())
+        return ref == 0.0 or float(d.min()) < self.repair_rtol * ref
+
+    def _whiten_against(self, u_new: np.ndarray, c_new: np.ndarray,
+                        sc_raw: np.ndarray
+                        ) -> tuple[np.ndarray, np.ndarray, bool]:
+        """Shared whitening core: QR the candidate sketch, gate, solve.
+
+        ``A u_new = c_new`` holds by construction of the harvest (the
+        candidates are combinations of columns satisfying the Arnoldi
+        relation), and the right-multiplication by ``t_c^{-1}`` preserves
+        it exactly.  All work is local: a small ``s x k`` QR plus two
+        triangular solves on the full-space candidates.
+
+        Returns ``(u, c, ok)``; ``ok=False`` flags detected drift — the
+        caller must fall back to the exact full-space repair.
+        """
+        led = ledger.current()
+        q_c, t_c = np.linalg.qr(sc_raw)
+        led.flop(Kernel.QR, 4.0 * self.s * sc_raw.shape[1] ** 2)
+        if self.needs_repair(t_c):
+            return u_new, c_new, False
+        c = sla.solve_triangular(t_c.T, c_new.T, lower=True).T
+        u = sla.solve_triangular(t_c.T, u_new.T, lower=True).T
+        led.flop(Kernel.BLAS3, 4.0 * self.n * t_c.shape[0] ** 2)
+        self.sc = q_c
+        return u, c, True
+
+    def whiten_local(self, u_new: np.ndarray, c_new: np.ndarray,
+                     sc_raw: np.ndarray
+                     ) -> tuple[np.ndarray, np.ndarray, bool]:
+        """Whiten against a *locally derived* candidate sketch.
+
+        ``sc_raw = [S C_k | S V] @ coeffs`` is replicated local algebra
+        (the engine's fused step reductions already assembled ``S V``),
+        so this path costs ZERO communication — except on every
+        ``refresh_every``-th call, which re-sketches (one reduction) so
+        the local-algebra rounding gap between the maintained ``S C_k``
+        and the true sketch of the carried pair stays bounded.
+        """
+        if self._since_refresh + 1 >= self.refresh_every:
+            return self.whiten(u_new, c_new)
+        out = self._whiten_against(u_new, c_new, sc_raw)
+        if out[2]:
+            self._since_refresh += 1
+        return out
+
+    def whiten(self, u_new: np.ndarray, c_new: np.ndarray
+               ) -> tuple[np.ndarray, np.ndarray, bool]:
+        """Re-sketch + whiten a freshly harvested/updated pair.
+
+        ONE ``s x k`` assembly reduction; for callers that cannot derive
+        the candidate sketch locally (no engine sketch state, e.g. the
+        pseudo-block per-column recyclers), and as the periodic refresh so
+        local-algebra rounding never accumulates across cycles.
+        """
+        out = self._whiten_against(u_new, c_new, self._sketch_c(c_new))
+        if out[2]:
+            self._since_refresh = 0
+        return out
+
+    # -- sketch-space observables -----------------------------------------
+    def drift(self) -> float:
+        """Local drift estimate of the maintained ``S C_k``."""
+        return 0.0 if self.sc is None else sketch_drift(self.sc)

@@ -53,6 +53,7 @@ __all__ = [
     "apply_sketch",
     "sketch_size",
     "make_arnoldi_engine",
+    "SketchState",
     "PseudoBlockOrthogonalizer",
     "OrthoScheme",
     "SCHEMES",
@@ -778,6 +779,34 @@ class _Cholqr2Engine(_EngineBase):
         return q, h, r, rank, e_col
 
 
+@dataclass
+class SketchState:
+    """Snapshot of the sketched engine's state after a cycle.
+
+    ``qs`` has orthonormal columns with ``S V = qs @ blockdiag(t0, I)``
+    exactly by construction, so consumers (the sketched recycler) can
+    reconstruct the sketch of the whole Krylov basis locally — no
+    communication.  ``sck`` is the sketch of the recycled space the
+    cycle ran against (``None`` without recycling).
+    """
+
+    s: int
+    seed: int
+    qs: np.ndarray
+    t0: np.ndarray
+    sck: np.ndarray | None = None
+
+    def sketched_basis(self, cols: int | None = None) -> np.ndarray:
+        """``S V`` (s x cols), reconstructed locally from ``qs`` and ``t0``."""
+        qs = np.ascontiguousarray(self.qs if cols is None
+                                  else self.qs[:, :cols])
+        w0 = self.t0.shape[0]
+        sv = np.array(qs)
+        if w0:
+            sv[:, :w0] = qs[:, :w0] @ self.t0
+        return sv
+
+
 class _SketchedEngine(_EngineBase):
     """Sketch-space Arnoldi orthogonalization: ONE reduction per step.
 
@@ -815,6 +844,29 @@ class _SketchedEngine(_EngineBase):
 
     def begin(self, v1, ck=None):
         self._setup([v1], ck, dtype=v1.dtype, n=v1.shape[0])
+
+    def begin_recycled(self, v1, ck, sck: np.ndarray) -> None:
+        """Start a cycle against a *pre-sketched* recycled space.
+
+        The sketched recycler maintains ``sck = S C_k`` across cycles, and
+        the caller has already charged the single fused prologue reduction
+        assembling ``C_k^H v1`` stacked with ``S v1`` — so this setup is
+        local work only (sketch flops + the small whitening QR).  The
+        engine adopts the recycler's sketch dimension (the recycler sizes
+        it for the *option* ``k``; a rank-trimmed harvest may leave the
+        actual ``C_k`` narrower, which only makes the sketch roomier).
+        """
+        n, cols = v1.shape
+        self.s = int(sck.shape[0])
+        self._sck = sck
+        sv = apply_sketch(v1, self.s, seed=self.seed)
+        self._qs, self._t0 = np.linalg.qr(sv)
+        ledger.current().flop(Kernel.QR, 4.0 * self.s * cols**2)
+
+    def export_state(self) -> SketchState:
+        """Expose the sketch state for the sketched recycling machinery."""
+        return SketchState(s=self.s, seed=self.seed, qs=self._qs,
+                           t0=self._t0, sck=self._sck)
 
     def begin_stacked(self, basis, *, dtype):
         self._setup([basis] if basis.size else [], None, dtype=dtype,

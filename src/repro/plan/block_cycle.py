@@ -78,6 +78,7 @@ class _Ctx:
         self.s = 0          # sketch dimension
         self.sck = None     # sketched C_k
         self.t0 = None      # sketch whitener
+        self.e0 = None      # C_k^H v1 seed coefficients
         self.j = 0
         self.rank = p
         self.res = None
@@ -92,6 +93,7 @@ class _Ctx:
 def _run_ck_seed(ctx):
     e0 = np.asarray(ctx.ck).conj().T @ ctx.v1
     ctx.v1 = ctx.v1 - ctx.ck @ e0
+    ctx.e0 = e0
 
 
 def _run_scaffold(ctx):
@@ -339,30 +341,49 @@ def _rr_cost(n: int, p: int, itemsize: int, rank_nonzero: bool):
 
 
 def lower_cycle(*, ortho: str, n: int, p: int, k: int, steps: int,
-                max_steps: int, dtype) -> Plan:
-    """Lower one block-Arnoldi cycle to a plan (un-optimized)."""
+                max_steps: int, dtype, sck_s: int = 0) -> Plan:
+    """Lower one block-Arnoldi cycle to a plan (un-optimized).
+
+    ``sck_s`` (sketched scheme only) is the sketch dimension of a
+    *pre-sketched* recycled space carried by the sketched recycler: the
+    prologue then fuses the ``C_k^H v1`` seed projection with the ``S v1``
+    assembly into ONE reduction and skips the ``S C_k`` sketch entirely,
+    mirroring the interpreter's ``begin_recycled`` path.
+    """
     itemsize = np.dtype(dtype).itemsize
     plan = Plan(meta={"ortho": ortho, "n": n, "p": p, "k": k,
-                      "steps": steps})
+                      "steps": steps, "sck_s": sck_s})
 
-    if k:
+    recycled_sketch = bool(sck_s and k and ortho == "sketched")
+    if k and not recycled_sketch:
         plan.prologue.append(PlanNode(
             kind="project", label="ck_seed_project", phase="prologue",
             run=_run_ck_seed,
             cost=flop_cost(Kernel.BLAS3, 4.0 * n * k * p)
             + reduction_cost(k * p * itemsize)))
     if ortho == "sketched":
-        s = sketch_size(n, (max_steps + 1) * p + k)
-        plan.prologue.append(PlanNode(
-            kind="allreduce", label="sketch_setup_assemble",
-            phase="prologue",
-            cost=reduction_cost(s * (p + k) * itemsize)))
+        s = sck_s if recycled_sketch \
+            else sketch_size(n, (max_steps + 1) * p + k)
         log_n = np.log2(max(n, 2))
-        if k:
+        if recycled_sketch:
+            # sketched recycling: S C_k is maintained across cycles, so the
+            # seed projection and the S v1 assembly share ONE fused
+            # reduction (the interpreter's begin_recycled charge)
             plan.prologue.append(PlanNode(
-                kind="sketch", label="sketch_ck", phase="prologue",
-                run=_run_sketch_ck, batch_key="sketch_setup",
-                cost=flop_cost(Kernel.BLAS3, 2.0 * n * log_n * k)))
+                kind="project", label="ck_seed_project", phase="prologue",
+                run=_run_ck_seed,
+                cost=flop_cost(Kernel.BLAS3, 4.0 * n * k * p)
+                + reduction_cost((s + k) * p * itemsize)))
+        else:
+            plan.prologue.append(PlanNode(
+                kind="allreduce", label="sketch_setup_assemble",
+                phase="prologue",
+                cost=reduction_cost(s * (p + k) * itemsize)))
+            if k:
+                plan.prologue.append(PlanNode(
+                    kind="sketch", label="sketch_ck", phase="prologue",
+                    run=_run_sketch_ck, batch_key="sketch_setup",
+                    cost=flop_cost(Kernel.BLAS3, 2.0 * n * log_n * k)))
         plan.prologue.append(PlanNode(
             kind="sketch", label="sketch_v1", phase="prologue",
             run=_run_sketch_v1, batch_key="sketch_setup",
@@ -548,13 +569,16 @@ def compiled_block_arnoldi_cycle(op_apply, inner_m, v1, s1, *,
                                  targets: np.ndarray | None = None,
                                  history=None,
                                  identity_m: bool = False,
-                                 iteration_budget: int | None = None):
+                                 iteration_budget: int | None = None,
+                                 sck: np.ndarray | None = None):
     """Plan-compiled twin of ``block_arnoldi_cycle`` (low-sync schemes).
 
     Same signature and contract; ``qr_scheme`` is accepted for symmetry but
     unused (the low-sync engines carry their own normalizers, exactly as in
-    the interpreter).  The returned :class:`CycleState` additionally
-    carries ``plan_stats`` (optimizer counters).
+    the interpreter).  ``sck`` is the pre-sketched recycled space of
+    ``recycle_space="sketched"`` (see the interpreter's docstring).  The
+    returned :class:`CycleState` additionally carries ``plan_stats``
+    (optimizer counters).
     """
     del qr_scheme
     dtype = v1.dtype
@@ -562,6 +586,7 @@ def compiled_block_arnoldi_cycle(op_apply, inner_m, v1, s1, *,
     k = ck.shape[1] if ck is not None else 0
     led = ledger.current()
     tr = trace.current()
+    recycled_sketch = sck is not None and k and ortho == "sketched"
 
     steps = max_steps
     if iteration_budget is not None:
@@ -574,11 +599,15 @@ def compiled_block_arnoldi_cycle(op_apply, inner_m, v1, s1, *,
     arena_k = k if ortho != "sketched" else 0
     ctx.arena = BasisArena(n, p, arena_k, steps, dtype)
     if ortho == "sketched":
-        ctx.s = sketch_size(n, (max_steps + 1) * p + k)
+        ctx.s = int(sck.shape[0]) if recycled_sketch \
+            else sketch_size(n, (max_steps + 1) * p + k)
         ctx.qs_arena = SketchArena(ctx.s, (steps + 1) * p, dtype)
+        if recycled_sketch:
+            ctx.sck = sck
 
     plan = optimize(lower_cycle(ortho=ortho, n=n, p=p, k=k, steps=steps,
-                                max_steps=max_steps, dtype=dtype))
+                                max_steps=max_steps, dtype=dtype,
+                                sck_s=ctx.s if recycled_sketch else 0))
     phased = [_split_phases(step) for step in plan.steps]
 
     run_nodes(plan.prologue, ctx, led)
@@ -610,6 +639,13 @@ def compiled_block_arnoldi_cycle(op_apply, inner_m, v1, s1, *,
         v_blocks=[ctx.arena.block(i) for i in range(nblocks)],
         z_blocks=ctx.z_blocks, hqr=ctx.hqr, e_cols=ctx.e_cols,
         steps=steps_taken, breakdown=breakdown,
-        converged_early=converged_early)
+        converged_early=converged_early, e0=ctx.e0)
+    if ortho == "sketched":
+        # same state surface the interpreter's engine exports, so the
+        # sketched recycling machinery works identically under both plans
+        from ..la.orthogonalization import SketchState
+        state.sketch = SketchState(s=ctx.s, seed=ctx.seed,
+                                   qs=ctx.qs_arena.view(), t0=ctx.t0,
+                                   sck=ctx.sck)
     state.plan_stats = dict(plan.stats)
     return state

@@ -18,6 +18,16 @@ Checks (all from span trees produced by real solves):
   never varies across cycles, and no ``recycle_update`` span appears.
 * ``cgs2_1r`` low-synchronization bound: **every** ``arnoldi_step`` span
   carries at most 2 reductions, recycling included.
+* GCRO-DR + ``sketched`` + ``recycle_space=sketched`` (different-system
+  updates enabled): every recycled cycle pays exactly ``steps + 1``
+  reductions (one fused prologue + one per step), harvest
+  ``recycle_update`` spans pay **0** reductions (the candidate sketch is
+  local algebra, the whitening is communication-free), update spans pay
+  exactly the ``k``-float column-norm reduction plus — under strategy A
+  only — the one fused Gram (so 2 for A, 1 for B; never the full-space
+  re-orthonormalization), every ``least_squares`` span pays 0, and the
+  per-cycle overhead is checked at two restart lengths so a hidden
+  ``O(m)`` term cannot masquerade as a constant.
 * Conservation: the per-span exclusive costs sum bit-for-bit to the root
   span's ledger window (checked via :func:`counts_signature`, so flops,
   p2p and event counts are included — not just reductions).
@@ -42,7 +52,8 @@ from .export import counts_signature
 from .tracer import Span, Tracer, install
 
 __all__ = ["GateError", "check_conservation", "check_gcrodr_shape",
-           "check_gmres_shape", "check_step_reduction_bound", "run_gate"]
+           "check_gmres_shape", "check_sketched_recycle_shape",
+           "check_step_reduction_bound", "run_gate"]
 
 
 class GateError(AssertionError):
@@ -131,6 +142,103 @@ def check_step_reduction_bound(root: Span, bound: int = 2) -> dict[str, Any]:
             f"an arnoldi_step span pays {worst} reductions "
             f"(low-synchronization bound is {bound})")
     return {"steps": len(steps), "max_reductions_per_step": worst}
+
+
+def check_sketched_recycle_shape(root: Span, m: int, k: int
+                                 ) -> dict[str, Any]:
+    """Sketched-recycling shape: O(1) recycling overhead per cycle.
+
+    For a GCRO-DR solve with ``orthogonalization=sketched`` and
+    ``recycle_space=sketched`` running *real* updates (not the same-system
+    fast path):
+
+    * every ``cycle`` span pays exactly ``steps + 1`` reductions — the
+      single fused prologue (seed projection stacked with ``S v1``) plus
+      one per Arnoldi step;
+    * harvest ``recycle_update`` spans pay **0** reductions — the
+      candidate sketch ``S C_new = (S V) qf`` is local algebra on the
+      engine's whitened state and the whitening itself is
+      communication-free; update spans pay exactly the ``k``-float
+      ``||U e_i||`` column-norm reduction plus, under strategy A only,
+      the one fused cross-Gram (2 for A, 1 for B) — never the full-space
+      re-orthonormalization;
+    * every ``least_squares`` span pays **0** reductions (line 28's
+      ``C^H R_{j-1}`` term is local algebra on the prologue coefficients);
+    * no drift-triggered ``recycle_repair`` fires on this well-conditioned
+      problem (the one deferred adoption-boundary repair per solve is
+      allowed — it is the lazy-repair contract, not drift).
+
+    None of the expected counts depends on ``m``; ``run_gate`` calls this
+    at two restart lengths and cross-checks the overhead.
+    """
+    cycles = [c for c in root.find("cycle")
+              if c.attrs.get("kind") in ("gcrodr", "harvest")]
+    if not cycles:
+        raise GateError("sketched-recycle trace has no cycle spans")
+    for cyc in cycles:
+        steps = _steps(cyc)
+        step_reds = sum(s.cost.reductions for s in steps)
+        if step_reds != len(steps):
+            raise GateError(
+                f"sketched cycle {cyc.attrs.get('index')}: {len(steps)} "
+                f"steps but {step_reds} step reductions (expected one per "
+                f"step)")
+        total = cyc.cost.reductions
+        if total != len(steps) + 1:
+            raise GateError(
+                f"sketched cycle {cyc.attrs.get('index')} "
+                f"({cyc.attrs.get('kind')}): {total} reductions for "
+                f"{len(steps)} steps (expected steps + 1: one fused "
+                f"prologue, one per step)")
+    from ..krylov.sketch_recycle import SketchedRecycler
+    updates = root.find("recycle_update")
+    if not updates:
+        raise GateError("sketched-recycle trace has no recycle_update "
+                        "spans; updates must run (not the fast path)")
+    worst_update = 0
+    refreshes = 0
+    for upd in updates:
+        if upd.attrs.get("kind") == "harvest":
+            expected, why = 0, ("local-algebra candidate sketch + "
+                               "communication-free whitening")
+        else:
+            strategy = upd.attrs.get("strategy", "A")
+            expected = 2 if strategy == "A" else 1
+            why = ("the k-float column norms"
+                   + (" + the one fused strategy-A Gram"
+                      if strategy == "A" else ""))
+        # the bounded-cadence re-sketch refresh adds at most one s x k
+        # reduction on every refresh_every-th whitening — still O(1)
+        if upd.cost.reductions not in (expected, expected + 1):
+            raise GateError(
+                f"sketched recycle_update span "
+                f"({upd.attrs.get('kind') or 'update'}) pays "
+                f"{upd.cost.reductions} reductions (expected {expected}: "
+                f"{why}; +1 only for the periodic re-sketch refresh; the "
+                f"full-space re-orthonormalization must not appear)")
+        refreshes += upd.cost.reductions - expected
+        worst_update = max(worst_update, upd.cost.reductions)
+    cap = len(updates) // SketchedRecycler.refresh_every + 1
+    if refreshes > cap:
+        raise GateError(
+            f"{refreshes} re-sketch refreshes across {len(updates)} "
+            f"recycle_update spans (cadence allows at most {cap}: one "
+            f"per {SketchedRecycler.refresh_every} whitenings)")
+    for ls in root.find("least_squares"):
+        if ls.cost.reductions != 0:
+            raise GateError(
+                f"sketched least_squares span pays {ls.cost.reductions} "
+                f"reductions (expected 0: the C^H r term is local)")
+    drift_repairs = [sp_ for sp_ in root.find("recycle_repair")
+                     if sp_.attrs.get("kind") != "adoption_boundary"]
+    if drift_repairs:
+        raise GateError(
+            f"{len(drift_repairs)} drift-triggered recycle_repair span(s) "
+            f"on the well-conditioned gate problem; lazy repair is not "
+            f"deferring")
+    return {"cycles": len(cycles), "updates": len(updates),
+            "reductions_per_update": worst_update,
+            "overhead_per_cycle": 1}
 
 
 def check_conservation(root: Span) -> dict[str, Any]:
@@ -227,6 +335,37 @@ def run_gate(exec_modes: tuple[str, ...] = ("fused", "per_rank"),
         check_conservation(seed_root)
         check_conservation(root)
 
+        # --- GCRO-DR(m, k) + sketched recycling: O(1) overhead/cycle ----
+        # Updates run for real (same_system=False); two restart lengths so
+        # the per-cycle overhead is demonstrably independent of m.
+        sk_report: dict[str, Any] = {}
+        for m_s in (m, 2 * m):
+            opts = Options(krylov_method="gcrodr", gmres_restart=m_s,
+                           recycle=k, orthogonalization="sketched",
+                           recycle_space="sketched", tol=1e-10, max_it=150,
+                           exec_mode=mode, trace="summary")
+            tr = Tracer(level="summary")
+            led = CostLedger()
+            with install(tr), ledger.install(led):
+                first = api.solve(a, b_cols[:, 1], options=opts)
+                res = api.solve(a, b_cols[:, 2], options=opts,
+                                recycle=first.info["recycle"],
+                                same_system=False)
+            ledger.current().merge(led)
+            seed_root, root = tr.roots[-2], tr.roots[-1]
+            rep = check_sketched_recycle_shape(root, m_s, k)
+            rep["iterations"] = res.iterations
+            check_step_reduction_bound(root, bound=1)
+            check_conservation(seed_root)
+            check_conservation(root)
+            sk_report[f"m={m_s}"] = rep
+        if len({rep["overhead_per_cycle"]
+                for rep in sk_report.values()}) != 1:
+            raise GateError(
+                f"sketched-recycle per-cycle overhead varies with m: "
+                f"{sk_report}")
+        mode_report["sketched_recycle"] = sk_report
+
         report[mode] = mode_report
 
     # both modes must tell the same story
@@ -235,5 +374,6 @@ def run_gate(exec_modes: tuple[str, ...] = ("fused", "per_rank"),
               for mode in exec_modes}
     if len(set(shapes.values())) > 1:
         raise GateError(f"exec modes disagree on reduction shapes: {shapes}")
-    report["reductions_per_cycle"] = {"gmres": m, "gcrodr": 2 * (m - k)}
+    report["reductions_per_cycle"] = {"gmres": m, "gcrodr": 2 * (m - k),
+                                      "gcrodr_sketched_recycle": "steps + 1"}
     return report

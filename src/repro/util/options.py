@@ -40,6 +40,7 @@ _FLUSH_POLICIES = ("batch_full", "queue_drained", "explicit")
 _SERVICE_MODES = ("sync", "async")
 _TRACE_LEVELS = ("off", "summary", "full")
 _PLAN_MODES = ("interpret", "compiled")
+_RECYCLE_SPACES = ("full", "sketched")
 
 
 @dataclass
@@ -95,6 +96,17 @@ class Options:
         restart-level variant for the ablation study).
     recycle_target:
         which end of the (harmonic) Ritz spectrum to retain.
+    recycle_space:
+        where GCRO-DR's harvest/update machinery runs
+        (``-hpddm_recycle_space``): ``"full"`` (default) computes the
+        generalized eigenproblem and the pair repair in the full space —
+        the bit-exact oracle; ``"sketched"`` computes recycle candidates
+        from the sketched least-squares problem, carries ``(U_k, C_k)``
+        in sketch-whitened form with a lazy full-space repair, and fuses
+        the recycled-space projection into the sketched Arnoldi engine's
+        single reduction per step, making the per-cycle reduction count
+        O(1) in ``m``.  Requires ``orthogonalization="sketched"``.  See
+        ``docs/ORTHOGONALIZATION.md``.
     exec_mode:
         execution mode of the simulated-MPI substrate for the duration of
         a solve: ``"fused"`` (vectorized global kernels, O(1) ledger
@@ -191,6 +203,7 @@ class Options:
     qr: str = "cholqr"
     deflation_tol: float = 1.0e-12
     recycle_target: str = "smallest"
+    recycle_space: str = "full"
     block_reduction: bool = False
     exec_mode: str | None = None
     verify: str = "off"
@@ -232,6 +245,18 @@ class Options:
         if self.recycle_target not in _TARGETS:
             raise OptionError(
                 f"unknown recycle_target {self.recycle_target!r}; expected one of {_TARGETS}"
+            )
+        if self.recycle_space not in _RECYCLE_SPACES:
+            raise OptionError(
+                f"unknown recycle_space {self.recycle_space!r}; "
+                f"expected one of {_RECYCLE_SPACES}"
+            )
+        if (self.recycle_space == "sketched"
+                and self.orthogonalization != "sketched"):
+            raise OptionError(
+                "recycle_space='sketched' rides on the sketched Arnoldi "
+                "engine; it requires orthogonalization='sketched' "
+                f"(got {self.orthogonalization!r})"
             )
         if self.exec_mode is not None and self.exec_mode not in EXEC_MODES:
             raise OptionError(
@@ -332,6 +357,8 @@ class Options:
             ]
             if self.recycle_same_system:
                 args.append("-hpddm_recycle_same_system")
+            if self.recycle_space != "full":
+                args += ["-hpddm_recycle_space", self.recycle_space]
         if self.exec_mode is not None:
             args += ["-hpddm_exec_mode", self.exec_mode]
         if self.verify != "off":

@@ -412,9 +412,17 @@ def _apply_scheme_tolerances(chk: InvariantChecker, options) -> InvariantChecker
     single-pass and sketched schemes to the looser one their analysis
     guarantees (so ``verify=full`` does not false-positive by design).
     Sketch-space schemes report sketched residual estimates, so their
-    residual-gap tolerance widens as well.  Recycled-space tolerances stay
-    tight for every scheme: the solvers re-orthonormalize ``C_k`` exactly
-    whenever the scheme's basis is inexact.
+    residual-gap tolerance widens as well.
+
+    Recycled-space orthonormality follows the same scheme ceiling for
+    inexact-basis schemes: their repair of ``C_k`` is *drift-gated* — the
+    expensive full-space re-derivation is deferred while a sketch-space
+    probe stays below ``info.orth_tol``, so mid-solve ``C_k^H C_k`` may
+    legitimately carry that much drift (packaged spaces are still repaired
+    to rounding at the adoption boundary).  The mapping identity
+    ``A U_k = C_k`` is preserved exactly by the sketch-whitening transform,
+    but an ill-conditioned whitening factor amplifies its rounding error,
+    so ``recycle_space="sketched"`` widens the map tolerance moderately.
     """
     from ..la.orthogonalization import SCHEMES  # deferred: keep verify light
     info = SCHEMES.get(getattr(options, "orthogonalization", ""))
@@ -422,4 +430,8 @@ def _apply_scheme_tolerances(chk: InvariantChecker, options) -> InvariantChecker
         chk.orth_tol = info.orth_tol
         if info.residual_gap_rtol is not None:
             chk.residual_gap_rtol = info.residual_gap_rtol
+        if not info.exact_basis:
+            chk.recycle_orth_tol = max(chk.recycle_orth_tol, info.orth_tol)
+            if getattr(options, "recycle_space", "full") == "sketched":
+                chk.recycle_map_tol = max(chk.recycle_map_tol, 1e-4)
     return chk

@@ -378,11 +378,15 @@ class TestTraceGate:
     @pytest.mark.slow
     def test_run_gate_passes(self):
         report = run_gate()
-        assert report["reductions_per_cycle"] == {"gmres": 10, "gcrodr": 12}
+        assert report["reductions_per_cycle"] == {
+            "gmres": 10, "gcrodr": 12,
+            "gcrodr_sketched_recycle": "steps + 1"}
         for mode in ("fused", "per_rank"):
             assert report[mode]["gmres"]["full_cycles"] >= 1
             assert report[mode]["gcrodr"]["full_cycles"] >= 1
             assert report[mode]["cgs2_1r_bound"]["max_reductions_per_step"] <= 2
+            for shape in report[mode]["sketched_recycle"].values():
+                assert shape["overhead_per_cycle"] <= 1
 
     def test_gate_shapes_single_mode(self, rng):
         """The fast (tier-1) version: one exec mode, real solves."""
