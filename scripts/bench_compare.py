@@ -1,9 +1,9 @@
 #!/usr/bin/env python
 """Bench-trajectory regression gate.
 
-Re-runs the three quick perf benches (``bench_micro_kernels --quick``,
-``bench_service --quick``, ``bench_traffic --quick``), reduces them to a
-small set of named metrics,
+Re-runs the four quick perf benches (``bench_micro_kernels --quick``,
+``bench_service --quick``, ``bench_traffic --quick``,
+``bench_shifted --quick``), reduces them to a small set of named metrics,
 compares against the most recent same-config entry of
 ``benchmarks/results/BENCH_trajectory.json`` (bootstrapping from the
 checked-in full-config ``BENCH_*.json`` gates when the trajectory is
@@ -50,12 +50,13 @@ MODELED_RTOL = 1e-6
 TRACKED_KERNELS = ("spmm", "col_dots", "cholqr")
 
 
-def run_quick_benches(tmpdir: str) -> tuple[dict, dict, dict]:
+def run_quick_benches(tmpdir: str) -> tuple[dict, dict, dict, dict]:
     """Run the quick benches with ``--check`` and return their JSON."""
     out = {}
     for script, name in (("bench_micro_kernels.py", "kernels"),
                          ("bench_service.py", "service"),
-                         ("bench_traffic.py", "traffic")):
+                         ("bench_traffic.py", "traffic"),
+                         ("bench_shifted.py", "shifted")):
         path = os.path.join(tmpdir, f"{name}.json")
         cmd = [sys.executable, os.path.join(ROOT, "benchmarks", script),
                "--quick", "--check", "--out", path]
@@ -69,11 +70,12 @@ def run_quick_benches(tmpdir: str) -> tuple[dict, dict, dict]:
                              f"(exit {proc.returncode})")
         with open(path, encoding="utf-8") as fh:
             out[name] = json.load(fh)
-    return out["kernels"], out["service"], out["traffic"]
+    return out["kernels"], out["service"], out["traffic"], out["shifted"]
 
 
 def extract_metrics(kernels: dict, service: dict,
-                    traffic: dict | None = None) -> dict[str, dict]:
+                    traffic: dict | None = None,
+                    shifted: dict | None = None) -> dict[str, dict]:
     """Reduce raw bench JSON to ``{metric: {value, kind}}``."""
     m: dict[str, dict] = {}
     speed = kernels["speedup_fused_over_per_rank"]
@@ -136,6 +138,18 @@ def extract_metrics(kernels: dict, service: dict,
             "value": int(traffic["sync"]["all_converged"]
                          and traffic["async"]["all_converged"]),
             "kind": "exact"}
+    if shifted is not None:
+        # ledger counts + perfmodel at fixed config: deterministic
+        for key, short in (("maxwell_frequency_sweep", "maxwell"),
+                           ("tikhonov_lambda_sweep", "tikhonov")):
+            work = shifted[key]
+            m[f"shifted_{short}_modeled_speedup"] = {
+                "value": float(work["modeled_speedup"]), "kind": "modeled"}
+            m[f"shifted_{short}_family_over_single"] = {
+                "value": float(work["reductions"]["family_over_single"]),
+                "kind": "modeled"}
+        m["shifted_all_converged"] = {
+            "value": int(shifted["gate"]["all_converged"]), "kind": "exact"}
     return m
 
 
@@ -209,6 +223,18 @@ def bootstrap_floors(current: dict[str, dict]) -> list[str]:
         if not 0.0 < rej <= 0.5:
             failures.append(f"traffic_burst_rejection_rate {rej} "
                             f"outside (0, 0.5]")
+    if "shifted_all_converged" in current:
+        for short in ("maxwell", "tikhonov"):
+            if current[f"shifted_{short}_modeled_speedup"]["value"] < 3.0:
+                failures.append(f"shifted_{short}_modeled_speedup < 3.0 "
+                                f"(shared basis must beat sequential)")
+            ratio = current[f"shifted_{short}_family_over_single"]["value"]
+            if ratio > 1.25:
+                failures.append(f"shifted_{short}_family_over_single "
+                                f"{ratio} > 1.25 (k-shift family must cost "
+                                f"about one solve in reductions)")
+        if current["shifted_all_converged"]["value"] != 1:
+            failures.append("shifted_all_converged != 1")
     return failures
 
 
@@ -249,6 +275,8 @@ def main(argv: list[str] | None = None) -> int:
                     help="reuse an existing quick bench_service JSON")
     ap.add_argument("--current-traffic", type=str, default=None,
                     help="reuse an existing quick bench_traffic JSON")
+    ap.add_argument("--current-shifted", type=str, default=None,
+                    help="reuse an existing quick bench_shifted JSON")
     ap.add_argument("--no-append", action="store_true",
                     help="compare only; do not extend the trajectory")
     ap.add_argument("--self-test", action="store_true",
@@ -264,10 +292,14 @@ def main(argv: list[str] | None = None) -> int:
         if ns.current_traffic:
             with open(ns.current_traffic, encoding="utf-8") as fh:
                 traffic = json.load(fh)
+        shifted = None
+        if ns.current_shifted:
+            with open(ns.current_shifted, encoding="utf-8") as fh:
+                shifted = json.load(fh)
     else:
         with tempfile.TemporaryDirectory() as tmp:
-            kernels, service, traffic = run_quick_benches(tmp)
-    current = extract_metrics(kernels, service, traffic)
+            kernels, service, traffic, shifted = run_quick_benches(tmp)
+    current = extract_metrics(kernels, service, traffic, shifted)
 
     if ns.self_test:
         return self_test(current)

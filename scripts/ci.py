@@ -151,9 +151,11 @@ def stage_perf_gates() -> dict:
         k_json = os.path.join(tmp, "kernels.json")
         s_json = os.path.join(tmp, "service.json")
         t_json = os.path.join(tmp, "traffic.json")
+        f_json = os.path.join(tmp, "shifted.json")
         for script, out in (("bench_micro_kernels.py", k_json),
                             ("bench_service.py", s_json),
-                            ("bench_traffic.py", t_json)):
+                            ("bench_traffic.py", t_json),
+                            ("bench_shifted.py", f_json)):
             res = _run([sys.executable,
                         os.path.join(ROOT, "benchmarks", script),
                         "--quick", "--check", "--out", out])
@@ -163,14 +165,16 @@ def stage_perf_gates() -> dict:
                     os.path.join(ROOT, "scripts", "bench_compare.py"),
                     "--self-test", "--current-kernels", k_json,
                     "--current-service", s_json,
-                    "--current-traffic", t_json])
+                    "--current-traffic", t_json,
+                    "--current-shifted", f_json])
         if not res["ok"]:
             return res
         return _run([sys.executable,
                      os.path.join(ROOT, "scripts", "bench_compare.py"),
                      "--current-kernels", k_json,
                      "--current-service", s_json,
-                     "--current-traffic", t_json])
+                     "--current-traffic", t_json,
+                     "--current-shifted", f_json])
 
 
 def stage_traffic() -> dict:
@@ -220,9 +224,11 @@ def stage_trace_gate() -> dict:
         print(f"trace-gate FAILED: {exc}", file=sys.stderr)
         return {"ok": False, "error": str(exc)}
     shapes = report["reductions_per_cycle"]
+    shifted = report["fused"]["shifted"]["bgmres"]
     print(f"trace-gate: gmres {shapes['gmres']} reductions/cycle, "
           f"gcrodr {shapes['gcrodr']} = 2(m-k); cgs2_1r <= 2/step; "
-          f"attribution conserved in both exec modes")
+          f"shifted k=8 family at {shifted['headline_ratio']:.2f}x the "
+          f"reductions of k=1; attribution conserved in both exec modes")
     return {"ok": True, "report": report,
             "modeled_seconds": _modeled_seconds(outer)}
 

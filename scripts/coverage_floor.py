@@ -25,15 +25,19 @@ import types
 
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
-#: package -> minimum total statement coverage (percent)
+#: package directory (or single module) -> minimum total statement
+#: coverage (percent).  A ``.py`` entry floors just that file — used for
+#: modules whose floor is tighter than (or tracked separately from)
+#: their package's.
 FLOORS = {
     os.path.join("src", "repro", "krylov"): 90.0,
+    os.path.join("src", "repro", "krylov", "shifted.py"): 85.0,
     os.path.join("src", "repro", "service"): 88.0,
     os.path.join("src", "repro", "trace"): 85.0,
 }
 
-TARGETS = {os.path.join(ROOT, rel) + os.sep: floor
-           for rel, floor in FLOORS.items()}
+TARGETS = {os.path.join(ROOT, rel) + ("" if rel.endswith(".py") else os.sep):
+           floor for rel, floor in FLOORS.items()}
 
 _executed: dict[str, set[int]] = {}
 
@@ -77,18 +81,20 @@ def _report_target(target: str, floor: float) -> bool:
     """Print the per-file table for one package; True if it meets its floor."""
     total_exec = total_hit = 0
     rows = []
-    for dirpath, _, names in os.walk(target):
-        for name in sorted(names):
-            if not name.endswith(".py"):
-                continue
-            path = os.path.join(dirpath, name)
-            executable = _executable_lines(path)
-            hit = _executed.get(path, set()) & executable
-            total_exec += len(executable)
-            total_hit += len(hit)
-            pct = 100.0 * len(hit) / len(executable) if executable else 100.0
-            rows.append((os.path.relpath(path, ROOT), len(hit),
-                         len(executable), pct))
+    if os.path.isfile(target):
+        paths = [target]
+    else:
+        paths = [os.path.join(dirpath, name)
+                 for dirpath, _, names in os.walk(target)
+                 for name in sorted(names) if name.endswith(".py")]
+    for path in paths:
+        executable = _executable_lines(path)
+        hit = _executed.get(path, set()) & executable
+        total_exec += len(executable)
+        total_hit += len(hit)
+        pct = 100.0 * len(hit) / len(executable) if executable else 100.0
+        rows.append((os.path.relpath(path, ROOT), len(hit),
+                     len(executable), pct))
 
     width = max(len(r[0]) for r in rows)
     print(f"\n{'file':<{width}}  covered  stmts    pct")

@@ -27,12 +27,14 @@ from .krylov.gmresdr import gmresdr
 from .krylov.lgmres import lgmres
 from .krylov.pgcrodr import PseudoBlockRecycle, pgcrodr
 from .krylov.recycling import RecycledSubspace
+from .krylov.shifted import (ShiftedFamilyResult, shifted_matrix,
+                             solve_shifted_family)
 from .service.cache import SetupCache
 from .service.fingerprint import operator_fingerprint
 from .util import ledger
 from .util.execmode import use_exec_mode
 from .util.misc import as_block
-from .util.options import Options
+from .util.options import OptionError, Options
 from . import trace, verify
 
 __all__ = ["solve", "Solver"]
@@ -41,11 +43,20 @@ __all__ = ["solve", "Solver"]
 def solve(a, b, m=None, *, options: Options | None = None,
           x0: np.ndarray | None = None,
           recycle: "RecycledSubspace | PseudoBlockRecycle | None" = None,
-          same_system: bool | None = None) -> SolveResult:
+          same_system: bool | None = None,
+          shifts=None, mass=None) -> SolveResult:
     """Solve ``A X = B`` with the method selected by ``options.krylov_method``.
 
     Parameters mirror the individual solver functions; ``recycle`` and
     ``same_system`` are only consumed by the recycling methods.
+
+    With ``shifts=[sigma_1, ..., sigma_k]`` the call solves the *family*
+    ``(A + sigma_i M) x_i = b_i`` on one shared block-Arnoldi basis
+    (:mod:`repro.krylov.shifted`) and returns a
+    :class:`~repro.krylov.shifted.ShiftedFamilyResult` with one
+    :class:`SolveResult` per shift; ``mass`` is the optional ``M``
+    (identity by default).  Preconditioning is rejected for family solves
+    — it breaks the shift invariance the shared basis relies on.
 
     With ``options.verify != "off"`` one :class:`~repro.verify.InvariantChecker`
     is activated around the whole solve (so solver hooks and distributed-QR
@@ -60,6 +71,16 @@ def solve(a, b, m=None, *, options: Options | None = None,
     True
     """
     options = options or Options()
+    if shifts is not None:
+        if m is not None:
+            raise OptionError(
+                "preconditioning breaks the shift invariance family solves "
+                "rely on; solve shifted families unpreconditioned (or fold "
+                "the preconditioner into the operator before shifting)")
+        return _solve_family(a, b, options=options, shifts=shifts,
+                             mass=mass, x0=x0, recycle=recycle)
+    if mass is not None:
+        raise OptionError("mass is only meaningful together with shifts")
     tracer = trace.tracer_for(options)
     if not tracer.enabled:
         # trace=off default: no spans, no extra info keys, no extra ledger —
@@ -88,6 +109,76 @@ def solve(a, b, m=None, *, options: Options | None = None,
         "span": root.to_dict(),
         "summary": tracer.summary(),
     }
+    return res
+
+
+def _solve_family(a, b, *, options: Options, shifts, mass, x0,
+                  recycle) -> ShiftedFamilyResult:
+    """Family dispatch: trace + verify wrapping for shifted solves."""
+    tracer = trace.tracer_for(options)
+    if not tracer.enabled:
+        return _solve_family_checked(a, b, options=options, shifts=shifts,
+                                     mass=mass, x0=x0, recycle=recycle)
+    with ExitStack() as stack:
+        if ledger.current().is_null:
+            stack.enter_context(ledger.install())
+        stack.enter_context(trace.install(tracer))
+        with tracer.span("solve", method=options.krylov_method,
+                         variant=options.variant,
+                         shifts=len(list(shifts))) as root:
+            res = _solve_family_checked(a, b, options=options,
+                                        shifts=shifts, mass=mass, x0=x0,
+                                        recycle=recycle)
+    tracer.metrics.counter("solve_total").inc(method=res.method)
+    tracer.metrics.histogram("solve_iterations").observe(
+        res.iterations, method=res.method)
+    for cyc in root.find("cycle"):
+        if cyc.cost is not None:
+            tracer.metrics.histogram("reductions_per_cycle").observe(
+                cyc.cost.reductions, method=res.method)
+    res.info["trace"] = {
+        "level": tracer.level,
+        "span": root.to_dict(),
+        "summary": tracer.summary(),
+    }
+    return res
+
+
+def _solve_family_checked(a, b, *, options: Options, shifts, mass, x0,
+                          recycle) -> ShiftedFamilyResult:
+    rec = recycle if isinstance(recycle, RecycledSubspace) else None
+
+    def _run() -> ShiftedFamilyResult:
+        if options.exec_mode is not None:
+            with use_exec_mode(options.exec_mode):
+                return solve_shifted_family(a, b, shifts, mass=mass,
+                                            options=options, x0=x0,
+                                            recycle=rec)
+        return solve_shifted_family(a, b, shifts, mass=mass,
+                                    options=options, x0=x0, recycle=rec)
+
+    if options.verify == "off":
+        return _run()
+    chk = verify.InvariantChecker(options.verify, context="shifted")
+    with verify.activate(chk):
+        res = _run()
+        if mass is None:
+            # with a mass matrix the engine solves the M^{-1}-transformed
+            # system, so its reported residual is the transformed one — a
+            # gap against ||b - (A + sigma M) x|| is expected, not a
+            # defect (the left-preconditioning rule, same as _solve_checked)
+            b_blk = as_block(np.asarray(b))
+            for i, (sres, sigma) in enumerate(zip(res.results, res.shifts)):
+                if not sres.history.records:
+                    continue
+                b_col = b_blk[:, [0]] if b_blk.shape[1] == 1 \
+                    else b_blk[:, [i]]
+                chk.check_final_residual(
+                    shifted_matrix(a, sigma), as_block(np.asarray(sres.x)),
+                    b_col, sres.history.records[-1], options.tol,
+                    converged=sres.converged,
+                    what=f"final residual (shift {i})")
+    res.info["verify"] = chk.report()
     return res
 
 

@@ -1,0 +1,88 @@
+"""Compiled-plan lowering of the shifted-family post-cycle update.
+
+The family engine's hot path has two halves: the shared block-Arnoldi
+cycle (lowered by :mod:`repro.plan.block_cycle`, unchanged — shift
+invariance means the cycle never sees the shifts) and the post-cycle
+family update — per-shift least-squares solves on ``H-bar + sigma E-bar``
+(or the whitened augmented problem of the unprojected recycled variant),
+the solution update, and the stacked restart residual.  This module
+lowers that second half.
+
+Node bodies call the silent math cores on the shared
+:class:`~repro.krylov.shifted.FamilyUpdateCtx`, so iterates are
+bit-identical to the interpreter by construction; every ledger charge is
+pre-bound from :func:`~repro.krylov.shifted.family_update_charges` — the
+same formula list the interpreter replays — so ``counts()`` is
+bit-identical too.  Per the plan-ledger lint rule, nothing here touches
+the ledger's charging surface directly.
+"""
+
+from __future__ import annotations
+
+from ..trace import tracer as trace
+from ..util import ledger
+from .ir import NodeCost, PlanNode, ZERO_COST, flop_cost, reduction_cost, \
+    run_nodes
+
+__all__ = ["lower_family_update", "compiled_family_update"]
+
+
+def _cost(pairs) -> NodeCost:
+    total = ZERO_COST
+    for kernel, count in pairs:
+        total = total + flop_cost(kernel, count)
+    return total
+
+
+def lower_family_update(ctx) -> list[PlanNode]:
+    """Lower one family update into pre-bound plan nodes.
+
+    The node stream mirrors the interpreter's steps one-to-one; the
+    ``ls`` phase runs inside the ``least_squares`` span, the ``tail``
+    phase (stacked residual + fused norm) after it.
+    """
+    flops, reductions = ctx.charges()
+    k = ctx.nshifts
+    nodes: list[PlanNode] = []
+    if ctx.kr:
+        nodes.append(PlanNode(
+            "family_gram", f"gram[C|U]^H[U|V] kr={ctx.kr}", "ls",
+            run=lambda c: c.run_gram(),
+            cost=_cost(flops[:1]) + reduction_cost(reductions[0])))
+        nodes.append(PlanNode(
+            "family_metric", "chol(W^H W)", "ls",
+            run=lambda c: c.run_metric(),
+            cost=_cost(flops[1:2])))
+        nodes.append(PlanNode(
+            "family_ls", f"augmented-ls x{k}", "ls",
+            run=lambda c: c.run_recycled_ls(),
+            cost=_cost(flops[2:5])))
+    else:
+        nodes.append(PlanNode(
+            "family_ls", f"shifted-hessenberg-ls x{k}", "ls",
+            run=lambda c: c.run_shared_ls(),
+            cost=_cost(flops[:4])))
+    # the stacked SpMM inside run_residual charges through the operator
+    # itself (opaque, like the cycle's SpMM slot); the node cost carries
+    # only the column-wise sigma_i x_i correction
+    nodes.append(PlanNode(
+        "family_residual", f"restart-residual x{k}", "tail",
+        run=lambda c: c.run_residual(),
+        cost=_cost(flops[-1:])))
+    nodes.append(PlanNode(
+        "family_norms", "fused-residual-norms", "tail",
+        run=lambda c: c.run_norms(),
+        cost=reduction_cost(reductions[-1])))
+    return nodes
+
+
+def compiled_family_update(ctx) -> None:
+    """Execute the lowered family update (bit-identical to interpret)."""
+    led = ledger.current()
+    tr = trace.current()
+    nodes = lower_family_update(ctx)
+    ls_nodes = [n for n in nodes if n.phase == "ls"]
+    tail_nodes = [n for n in nodes if n.phase == "tail"]
+    with tr.span("least_squares", shifts=ctx.nshifts, recycled=bool(ctx.kr)):
+        run_nodes(ls_nodes, ctx, led)
+    run_nodes(tail_nodes, ctx, led)

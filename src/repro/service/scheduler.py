@@ -48,10 +48,8 @@ import numpy as np
 from ..krylov.base import SolveResult
 from ..perfmodel.estimate import modeled_time
 from ..trace import tracer as trace
-from ..util.misc import as_block
 from ..util.options import Options
-from .fingerprint import operator_fingerprint
-from .service import SolveRequest, SolveService, options_key
+from .service import SolveRequest, SolveService
 from .shard import ShardedSetupCache
 
 __all__ = ["AsyncRequest", "AsyncSolveService", "make_service"]
@@ -142,6 +140,39 @@ class AsyncSolveService(SolveService):
         return None
 
     # -- submission ------------------------------------------------------
+    def _make_async(self, a: Any, b: np.ndarray, *, options, x0,
+                    deadline, priority, tenant,
+                    shifts=(), mass=None) -> AsyncRequest:
+        opts = options or self.options
+        rel = opts.service_deadline if deadline is None else deadline
+        return self._make_request(
+            a, b, options=opts, x0=x0, shifts=shifts, mass=mass,
+            cls=AsyncRequest, arrival=self.now,
+            # 0 = no deadline; negative = already expired (rejected below)
+            deadline=self.now + rel if rel != 0 else math.inf,
+            priority=priority, tenant=tenant)
+
+    def _enqueue(self, req: AsyncRequest) -> AsyncRequest:
+        shard = self.cache.shard_of(req.fingerprint)
+        req.shard = shard
+        tr = trace.current()
+        reason = self._admit(req, shard)
+        if reason is not None:
+            req.rejected = reason
+            self.rejections.append(req)
+            tr.metrics.counter("service_rejected_total").inc(reason=reason)
+            return req
+        key = self._request_key(req)
+        self._queue.setdefault(key, []).append(req)
+        self._key_shard[key] = shard
+        depth = self.shard_depth(shard)
+        self.queue_high_water[shard] = max(self.queue_high_water[shard],
+                                           depth)
+        tr.metrics.gauge("service_queue_depth").set(depth, shard=str(shard))
+        if self.flush_policy != "explicit":
+            self._pump(shard, allow_partial=False)
+        return req
+
     def submit(self, a: Any, b: np.ndarray, *,
                options: Options | None = None,
                x0: np.ndarray | None = None,
@@ -155,37 +186,28 @@ class AsyncSolveService(SolveService):
         :attr:`AsyncRequest.rejected` set — check it before calling
         :meth:`result`.
         """
-        opts = options or self.options
-        fp = operator_fingerprint(a)
-        b_arr = np.asarray(b)
-        rel = opts.service_deadline if deadline is None else deadline
-        req = AsyncRequest(
-            index=self._next_index, a=a, fingerprint=fp, b=b_arr,
-            width=as_block(b_arr).shape[1], options=opts, x0=x0,
-            squeeze=b_arr.ndim == 1, arrival=self.now,
-            # 0 = no deadline; negative = already expired (rejected below)
-            deadline=self.now + rel if rel != 0 else math.inf,
-            priority=priority, tenant=tenant)
-        self._next_index += 1
-        shard = self.cache.shard_of(fp)
-        req.shard = shard
-        tr = trace.current()
-        reason = self._admit(req, shard)
-        if reason is not None:
-            req.rejected = reason
-            self.rejections.append(req)
-            tr.metrics.counter("service_rejected_total").inc(reason=reason)
-            return req
-        key = (fp, options_key(opts))
-        self._queue.setdefault(key, []).append(req)
-        self._key_shard[key] = shard
-        depth = self.shard_depth(shard)
-        self.queue_high_water[shard] = max(self.queue_high_water[shard],
-                                           depth)
-        tr.metrics.gauge("service_queue_depth").set(depth, shard=str(shard))
-        if self.flush_policy != "explicit":
-            self._pump(shard, allow_partial=False)
-        return req
+        return self._enqueue(self._make_async(
+            a, b, options=options, x0=x0, deadline=deadline,
+            priority=priority, tenant=tenant))
+
+    def submit_family(self, a: Any, b: np.ndarray, shifts, *,
+                      mass: Any = None, options: Options | None = None,
+                      x0: np.ndarray | None = None,
+                      deadline: float | None = None, priority: int = 0,
+                      tenant: str = "default") -> AsyncRequest:
+        """Queue a shifted-family request under the async scheduler.
+
+        Coalescing, admission, deadlines and cost attribution behave as
+        for :meth:`submit`; the family's union of shifts is one dispatch
+        on the owning shard (see
+        :meth:`~repro.service.service.SolveService.submit_family`).
+        """
+        sig = tuple(np.ravel(np.asarray(list(shifts))).tolist())
+        if not sig:
+            raise ValueError("a family request needs at least one shift")
+        return self._enqueue(self._make_async(
+            a, b, options=options, x0=x0, deadline=deadline,
+            priority=priority, tenant=tenant, shifts=sig, mass=mass))
 
     # -- scheduling core -------------------------------------------------
     def _shard_keys(self, shard: int) -> list[tuple]:

@@ -51,7 +51,14 @@ _PRECOND_SPECS = ("lu", "schwarz", "amg")
 
 @dataclass
 class SolveRequest:
-    """One queued solve.  ``result`` is filled when its batch is solved."""
+    """One queued solve.  ``result`` is filled when its batch is solved.
+
+    A *family* request (``shifts`` non-empty) asks for every system
+    ``(A + sigma_i M) x = b`` of a shifted family at once; its ``width``
+    is the number of shifts and its ``result`` is a
+    :class:`~repro.krylov.shifted.ShiftedFamilyResult` restricted to its
+    own shifts.
+    """
 
     index: int
     a: Any
@@ -61,6 +68,8 @@ class SolveRequest:
     options: Options
     x0: np.ndarray | None = None
     squeeze: bool = False
+    shifts: tuple = ()
+    mass: Any = field(default=None, repr=False)
     result: SolveResult | None = field(default=None, repr=False)
 
     @property
@@ -80,6 +89,20 @@ def options_digest(okey: tuple) -> str:
 
 def _recycle_kind(okey: tuple) -> str:
     return f"recycle:{options_digest(okey)}"
+
+
+def _rhs_digest(b: np.ndarray) -> str:
+    """Stable digest of a right-hand side's value, for family coalescing."""
+    arr = np.ascontiguousarray(b)
+    h = hashlib.blake2b(digest_size=8)
+    h.update(str((arr.shape, arr.dtype.str)).encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def _family_recycle_kind(okey: tuple, fpm: Fingerprint | None) -> str:
+    tag = fpm.short() if fpm is not None else "none"
+    return f"family_recycle:{options_digest(okey)}:{tag}"
 
 
 # retained for callers that imported the private name
@@ -159,6 +182,43 @@ class SolveService:
         self.batches: list[dict[str, Any]] = []
 
     # -- submission ------------------------------------------------------
+    def _make_request(self, a: Any, b: np.ndarray, *, options, x0,
+                      shifts=(), mass=None, cls=SolveRequest,
+                      **extra) -> SolveRequest:
+        opts = options or self.options
+        fp = operator_fingerprint(a)
+        b_arr = np.asarray(b)
+        sig = tuple(np.ravel(np.asarray(list(shifts))).tolist()) \
+            if len(shifts) else ()
+        width = len(sig) if sig else as_block(b_arr).shape[1]
+        req = cls(index=self._next_index, a=a, fingerprint=fp, b=b_arr,
+                  width=width, options=opts, x0=x0,
+                  squeeze=b_arr.ndim == 1 and not sig,
+                  shifts=sig, mass=mass, **extra)
+        self._next_index += 1
+        return req
+
+    def _request_key(self, req: SolveRequest) -> tuple:
+        """The coalescing-group key this request queues under.
+
+        Family requests key on ``(fp(A), fp(M), rhs-digest, options)`` so
+        every shift of a family — across callers — lands in one group,
+        one setup-cache entry, and one dispatch.
+        """
+        if req.shifts:
+            fpm = operator_fingerprint(req.mass) \
+                if req.mass is not None else None
+            return ("family", req.fingerprint, fpm, _rhs_digest(req.b),
+                    _options_key(req.options))
+        return (req.fingerprint, _options_key(req.options))
+
+    def _enqueue(self, req: SolveRequest) -> SolveRequest:
+        key = self._request_key(req)
+        self._queue.setdefault(key, []).append(req)
+        if self.flush_policy == "batch_full":
+            self._dispatch_full_chunks(key)
+        return req
+
     def submit(self, a: Any, b: np.ndarray, *, options: Options | None = None,
                x0: np.ndarray | None = None) -> SolveRequest:
         """Queue one solve request; returns a handle to poll for results.
@@ -167,19 +227,24 @@ class SolveService:
         soon as it reaches ``service_pmax`` columns; otherwise requests
         wait for :meth:`flush`.
         """
-        opts = options or self.options
-        fp = operator_fingerprint(a)
-        b_arr = np.asarray(b)
-        req = SolveRequest(
-            index=self._next_index, a=a, fingerprint=fp, b=b_arr,
-            width=as_block(b_arr).shape[1], options=opts, x0=x0,
-            squeeze=b_arr.ndim == 1)
-        self._next_index += 1
-        key = (fp, _options_key(opts))
-        self._queue.setdefault(key, []).append(req)
-        if self.flush_policy == "batch_full":
-            self._dispatch_full_chunks(key)
-        return req
+        return self._enqueue(self._make_request(a, b, options=options, x0=x0))
+
+    def submit_family(self, a: Any, b: np.ndarray, shifts, *,
+                      mass: Any = None, options: Options | None = None,
+                      x0: np.ndarray | None = None) -> SolveRequest:
+        """Queue a shifted-family request ``(A + sigma_i M) x = b``.
+
+        Requests that share the operator, mass matrix, right-hand side
+        *value* and options coalesce into a single family: their shift
+        unions are solved on one shared block-Arnoldi basis by
+        ``api.solve(..., shifts=...)`` and each request receives the
+        slice belonging to its own shifts.
+        """
+        sig = tuple(np.ravel(np.asarray(list(shifts))).tolist())
+        if not sig:
+            raise ValueError("a family request needs at least one shift")
+        return self._enqueue(self._make_request(
+            a, b, options=options, x0=x0, shifts=sig, mass=mass))
 
     def solve(self, a: Any, b: np.ndarray, *, options: Options | None = None,
               x0: np.ndarray | None = None) -> SolveResult:
@@ -191,8 +256,7 @@ class SolveService:
         """
         req = self.submit(a, b, options=options, x0=x0)
         if not req.done:
-            key = (req.fingerprint, _options_key(req.options))
-            self._dispatch_group(key)
+            self._dispatch_group(self._request_key(req))
         return req.result
 
     def result(self, req: SolveRequest) -> SolveResult:
@@ -206,7 +270,7 @@ class SolveService:
                 raise RuntimeError(
                     "request not solved yet and service_flush='explicit'; "
                     "call flush() first")
-            self._dispatch_group((req.fingerprint, _options_key(req.options)))
+            self._dispatch_group(self._request_key(req))
         return req.result
 
     def flush(self) -> list[SolveRequest]:
@@ -238,7 +302,14 @@ class SolveService:
 
     def _take_chunk(self, reqs: list[SolveRequest]
                     ) -> tuple[list[SolveRequest], list[SolveRequest]]:
-        """Greedy prefix with total width <= p_max (at least one request)."""
+        """Greedy prefix with total width <= p_max (at least one request).
+
+        A family group is never split: its members share one right-hand
+        side and one Arnoldi basis, so the whole group is one dispatch
+        regardless of ``p_max`` (the union of shifts is the block width).
+        """
+        if reqs[0].shifts:
+            return list(reqs), []
         chunk: list[SolveRequest] = [reqs[0]]
         width = reqs[0].width
         i = 1
@@ -302,6 +373,8 @@ class SolveService:
     def _solve_batch(self, key: tuple, chunk: list[SolveRequest]) -> None:
         from .. import api  # deferred: repro.api has no import-time cycle here
 
+        if chunk and chunk[0].shifts:
+            return self._solve_family_batch(key, chunk)
         fp, okey = key
         opts = chunk[0].options
         batch_id = self._next_batch
@@ -420,3 +493,126 @@ class SolveService:
                 info=info,
             )
             j0 = j1
+
+    # -- the family batch solve ------------------------------------------
+    def _solve_family_batch(self, key: tuple,
+                            chunk: list[SolveRequest]) -> None:
+        """One dispatch for a coalesced shifted family.
+
+        The union of the chunk's shifts is solved on a single shared
+        block-Arnoldi basis through ``api.solve(..., shifts=...)``; the
+        mass factorization (when present) and the recycle space are the
+        group's one setup-cache entry, keyed on the family fingerprint
+        ``(fp(A), fp(M), rhs-digest, options)``.
+        """
+        from .. import api
+
+        _, fp, fpm, _bdigest, okey = key
+        opts = chunk[0].options
+        batch_id = self._next_batch
+        self._next_batch += 1
+
+        union: list = []
+        for req in chunk:
+            for s in req.shifts:
+                if s not in union:
+                    union.append(s)
+        k = len(union)
+
+        ambient = ledger.current()
+        batch_led = CostLedger()
+        recycling = opts.is_recycling
+        rkind = _family_recycle_kind(okey, fpm)
+        tr = trace.current()
+        with tr.span("service.batch", batch=batch_id, width=k,
+                     requests=len(chunk), family=True):
+            with ledger.install(batch_led):
+                mass_op = setup_hit = None
+                if chunk[0].mass is not None:
+                    from ..direct.solver import SparseLU
+                    mass = chunk[0].mass
+                    mass_op, setup_hit = self.cache.get_or_build(
+                        fpm, "mass_lu", lambda: SparseLU(_as_matrix(mass)))
+                recycle = recycle_hit = None
+                if recycling:
+                    recycle = self.cache.get(fp, rkind)
+                    recycle_hit = recycle is not None
+                fam = api.solve(chunk[0].a, chunk[0].b, options=opts,
+                                x0=chunk[0].x0, shifts=union, mass=mass_op,
+                                recycle=recycle)
+                new_space = fam.info.get("recycle")
+                if recycling and new_space is not None:
+                    new_space.fingerprint = fp
+                    self.cache.put(fp, rkind, new_space)
+            ambient.merge(batch_led)
+        tr.metrics.histogram("service_batch_occupancy").observe(k)
+        tr.metrics.counter("service_requests_total").inc(len(chunk))
+        tr.metrics.counter("service_batches_total").inc()
+        tr.metrics.counter("service_family_batches_total").inc()
+        if setup_hit is not None:
+            tr.metrics.counter("service_setup_cache_total").inc(
+                outcome="hit" if setup_hit else "miss")
+        if recycling:
+            tr.metrics.counter("service_recycle_cache_total").inc(
+                outcome="hit" if recycle_hit else "miss")
+
+        self._scatter_family(chunk, union, fam, batch_led,
+                             batch_id=batch_id, setup_hit=setup_hit,
+                             recycle_hit=recycle_hit)
+        self.batches.append({
+            "batch": batch_id,
+            "fingerprint": fp.short(),
+            "okey_digest": options_digest(okey),
+            "requests": len(chunk),
+            "request_indices": [r.index for r in chunk],
+            "width": k,
+            "family": True,
+            "shifts": k,
+            "method": fam.method,
+            "iterations": fam.iterations,
+            "setup_cache_hit": setup_hit,
+            "ledger": batch_led,
+        })
+
+    def _scatter_family(self, chunk, union: list, fam, batch_led: CostLedger,
+                        *, batch_id: int, setup_hit, recycle_hit) -> None:
+        """Slice the family result and ledger back onto each request.
+
+        A shift requested by several callers is attributed to each of
+        them (its column share appears in every requester's cost), so
+        per-request costs over-count shared columns; the batch ledger in
+        ``self.batches`` remains the conserved total.
+        """
+        from ..krylov.shifted import ShiftedFamilyResult
+
+        k = len(union)
+        shares = batch_led.split(k)
+        pos = {s: i for i, s in enumerate(union)}
+        cache_stats = self.cache.stats()
+        for req in chunk:
+            idx = [pos[s] for s in req.shifts]
+            cost = CostLedger()
+            for i in idx:
+                cost.merge(shares[i])
+            info = dict(fam.info)
+            info["service"] = {
+                "batch": batch_id,
+                "family": True,
+                "batch_width": k,
+                "shift_indices": idx,
+                "coalesced_requests": len(chunk),
+                "fingerprint": req.fingerprint.short(),
+                "setup_cache_hit": setup_hit,
+                "recycle_cache_hit": recycle_hit,
+                "cache": cache_stats,
+                "cost": cost,
+            }
+            req.result = ShiftedFamilyResult(
+                shifts=tuple(req.shifts),
+                results=[fam.results[i] for i in idx],
+                iterations=fam.iterations,
+                restarts=fam.restarts,
+                method=fam.method,
+                breakdown=fam.breakdown,
+                info=info,
+            )

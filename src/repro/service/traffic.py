@@ -40,7 +40,7 @@ from .scheduler import DEFAULT_NRANKS, AsyncSolveService
 from .service import SolveService
 
 __all__ = ["TrafficConfig", "Arrival", "generate", "build_operators",
-           "run_traffic"]
+           "base_operator", "run_traffic"]
 
 
 @dataclass(frozen=True)
@@ -66,6 +66,8 @@ class TrafficConfig:
     shards: int = 4
     queue_depth: int = 0          #: per-shard admission bound (0 = unbounded)
     cache_entries: int = 32
+    family_fraction: float = 0.0  #: fraction of arrivals sent as families
+    family_shifts: int = 4        #: shifts per family request
 
 
 @dataclass(frozen=True)
@@ -78,6 +80,7 @@ class Arrival:
     tenant: str
     priority: int
     deadline: float  #: relative; 0 = none
+    shifts: tuple = ()  #: non-empty = family request on the base Laplacian
 
 
 def generate(cfg: TrafficConfig) -> list[Arrival]:
@@ -90,9 +93,26 @@ def generate(cfg: TrafficConfig) -> list[Arrival]:
     following ``burst_size`` arrivals onto its timestamp (a tenant burst).
     Closed-loop schedules carry ``time=0.0``; the replay driver paces
     them by completions instead.
+
+    With ``family_fraction > 0`` that fraction of arrivals becomes
+    *family* requests: the operator population is shifted 2-D Laplacians
+    ``lap2 + 0.05 (i+1) I``, so instead of solving one member as a
+    standalone operator (its own fingerprint, its own setup) the arrival
+    asks for ``family_shifts`` consecutive members of the sweep at once —
+    ``shifts = (0.05 (op+1), 0.05 (op+2), ...)`` on the *base* Laplacian
+    — exercising the shared-basis family path.  Family arrivals model
+    sweep consumers reading a *shared* per-operator dataset (their RHS
+    seed is the operator index, not the arrival index), so concurrent
+    sweeps of the same operator coalesce to one family dispatch.  The
+    family flags come from an independent seeded stream, so the base
+    schedule (operators, tenants, times) of a config is unchanged by
+    the knob.
     """
     if cfg.arrival not in ("open", "closed"):
         raise ValueError(f"unknown arrival process {cfg.arrival!r}")
+    if not 0.0 <= cfg.family_fraction <= 1.0:
+        raise ValueError(
+            f"family_fraction must be in [0, 1], got {cfg.family_fraction}")
     rng = np.random.default_rng([cfg.seed, 0xA11])
     n = cfg.n_requests
     weights = 1.0 / np.power(np.arange(1, cfg.n_operators + 1), cfg.zipf_s)
@@ -107,9 +127,20 @@ def generate(cfg: TrafficConfig) -> list[Arrival]:
                 times[j:j + cfg.burst_size] = times[j]
     else:
         times = np.zeros(n)
-    return [Arrival(time=float(times[i]), op=int(ops[i]), seed=i,
+    if cfg.family_fraction > 0.0:
+        fam_rng = np.random.default_rng([cfg.seed, 0xFA31])
+        is_family = fam_rng.random(n) < cfg.family_fraction
+        width = min(cfg.family_shifts, cfg.n_operators)
+    else:
+        is_family = np.zeros(n, dtype=bool)
+        width = 0
+    return [Arrival(time=float(times[i]), op=int(ops[i]),
+                    seed=int(ops[i]) if is_family[i] else i,
                     tenant=f"tenant{int(tenants[i])}",
-                    priority=int(priorities[i]), deadline=cfg.deadline)
+                    priority=int(priorities[i]), deadline=cfg.deadline,
+                    shifts=tuple(
+                        0.05 * ((int(ops[i]) + d) % cfg.n_operators + 1)
+                        for d in range(width)) if is_family[i] else ())
             for i in range(n)]
 
 
@@ -126,14 +157,25 @@ def build_operators(cfg: TrafficConfig) -> list[sp.csr_matrix]:
     fingerprint while keeping conditioning mild enough that every
     request converges (the equal-correctness leg of the bench gate).
     """
+    lap2 = base_operator(cfg)
+    n = lap2.shape[0]
+    return [(lap2 + (0.05 * (i + 1)) * sp.eye(n)).tocsr()
+            for i in range(cfg.n_operators)]
+
+
+def base_operator(cfg: TrafficConfig) -> sp.csr_matrix:
+    """The unshifted 2-D Laplacian every population member is a shift of.
+
+    Family requests submit this base with ``shifts=[...]`` — the member
+    operators of :func:`build_operators` are exactly
+    ``base + 0.05 (i+1) I``, so a family answers several population
+    members from one shared basis.
+    """
     g = cfg.grid
     lap1 = sp.diags([-np.ones(g - 1), 2.0 * np.ones(g), -np.ones(g - 1)],
                     [-1, 0, 1])
     eye = sp.eye(g)
-    lap2 = (sp.kron(lap1, eye) + sp.kron(eye, lap1)).tocsr()
-    n = g * g
-    return [(lap2 + (0.05 * (i + 1)) * sp.eye(n)).tocsr()
-            for i in range(cfg.n_operators)]
+    return (sp.kron(lap1, eye) + sp.kron(eye, lap1)).tocsr()
 
 
 def _rhs(cfg: TrafficConfig, arrival: Arrival) -> np.ndarray:
@@ -168,26 +210,31 @@ def _latency_summary(latencies: list[float]) -> dict[str, float]:
     }
 
 
+def _submit_async(svc: AsyncSolveService, cfg: TrafficConfig, ar: Arrival,
+                  base: sp.csr_matrix, ops: list[sp.csr_matrix]):
+    kwargs = {"deadline": ar.deadline if ar.deadline > 0 else None,
+              "priority": ar.priority, "tenant": ar.tenant}
+    if ar.shifts:
+        return svc.submit_family(base, _rhs(cfg, ar), list(ar.shifts),
+                                 **kwargs)
+    return svc.submit(ops[ar.op], _rhs(cfg, ar), **kwargs)
+
+
 def _run_async(cfg: TrafficConfig, arrivals: list[Arrival],
                ops: list[sp.csr_matrix], svc: AsyncSolveService) -> list:
+    base = base_operator(cfg)
     reqs = []
     if cfg.arrival == "open":
         for ar in arrivals:
             svc.advance_to(ar.time)
-            reqs.append(svc.submit(
-                ops[ar.op], _rhs(cfg, ar),
-                deadline=ar.deadline if ar.deadline > 0 else None,
-                priority=ar.priority, tenant=ar.tenant))
+            reqs.append(_submit_async(svc, cfg, ar, base, ops))
         svc.drain()
     else:
         # closed loop: waves of `users` synchronized clients, each wave
         # paced by the completion of the previous one plus think time
         for w0 in range(0, len(arrivals), cfg.users):
             for ar in arrivals[w0:w0 + cfg.users]:
-                reqs.append(svc.submit(
-                    ops[ar.op], _rhs(cfg, ar),
-                    deadline=ar.deadline if ar.deadline > 0 else None,
-                    priority=ar.priority, tenant=ar.tenant))
+                reqs.append(_submit_async(svc, cfg, ar, base, ops))
             svc.drain()
             svc.advance_to(svc.makespan + cfg.think_time)
     return reqs
@@ -204,10 +251,14 @@ def _run_sync(cfg: TrafficConfig, arrivals: list[Arrival],
     """
     from ..perfmodel.estimate import modeled_time
 
+    base = base_operator(cfg)
     reqs = []
     arrival_time = {}
     for ar in arrivals:
-        req = svc.submit(ops[ar.op], _rhs(cfg, ar))
+        if ar.shifts:
+            req = svc.submit_family(base, _rhs(cfg, ar), list(ar.shifts))
+        else:
+            req = svc.submit(ops[ar.op], _rhs(cfg, ar))
         arrival_time[req.index] = ar.time
         reqs.append(req)
     svc.flush()
@@ -301,6 +352,13 @@ def run_traffic(cfg: TrafficConfig, mode: str = "async") -> dict[str, Any]:
             "count": len(widths),
             "mean_width": sum(widths) / len(widths) if widths else 0.0,
             "max_width": max(widths, default=0),
+        },
+        "family": {
+            "requests": sum(1 for ar in arrivals if ar.shifts),
+            "batches": sum(1 for rec in svc.batches
+                           if rec.get("family")),
+            "shifts_solved": sum(rec["width"] for rec in svc.batches
+                                 if rec.get("family")),
         },
         "cache": {
             "hit_rate": cache["total_hits"] / probes if probes else 0.0,

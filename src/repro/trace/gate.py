@@ -53,7 +53,7 @@ from .tracer import Span, Tracer, install
 
 __all__ = ["GateError", "check_conservation", "check_gcrodr_shape",
            "check_gmres_shape", "check_sketched_recycle_shape",
-           "check_step_reduction_bound", "run_gate"]
+           "check_shifted_shape", "check_step_reduction_bound", "run_gate"]
 
 
 class GateError(AssertionError):
@@ -241,6 +241,79 @@ def check_sketched_recycle_shape(root: Span, m: int, k: int
             "overhead_per_cycle": 1}
 
 
+def check_shifted_shape(roots: dict[int, Span], ratio_cap: float = 1.25
+                        ) -> dict[str, Any]:
+    """Shifted-family shape: reductions per cycle independent of #shifts.
+
+    ``roots`` maps the number of shifts ``k`` to the root span of a family
+    solve of the *same* system at that width (full-rank right-hand-side
+    blocks, so every width runs the identical cycle structure).  Derived
+    from spans alone:
+
+    * every ``least_squares`` span pays **0** reductions in shared-basis
+      mode and exactly **1** in recycled mode (the one fused family Gram
+      ``[C|U]^H [U|V]``) — the per-shift Hessenberg/augmented solves are
+      local dense work, so the count cannot grow with ``k``;
+    * for every cycle length that occurs at several widths, the
+      per-cycle reduction count is **identical** across all of them — the
+      shape statement "one family pays the reductions of one solve";
+    * the paper-shaped headline: total reductions at the widest ``k`` are
+      at most ``ratio_cap`` (default 1.25) times the total at the
+      narrowest — re-deriving the tests' ledger assertion from the trace.
+    """
+    if len(roots) < 2:
+        raise GateError("check_shifted_shape needs solves at >= 2 widths")
+    per_k: dict[int, dict[str, Any]] = {}
+    for k, root in sorted(roots.items()):
+        cycles = [c for c in root.find("cycle")
+                  if c.attrs.get("kind") == "shifted"]
+        if not cycles:
+            raise GateError(f"shifted trace (k={k}) has no family cycle "
+                            f"spans")
+        for ls in root.find("least_squares"):
+            expected = 1 if ls.attrs.get("recycled") else 0
+            if ls.cost.reductions != expected:
+                raise GateError(
+                    f"shifted least_squares span at k={k} pays "
+                    f"{ls.cost.reductions} reductions (expected {expected}"
+                    f": per-shift solves are local dense work"
+                    + (", plus the one fused family Gram"
+                       if expected else "") + ")")
+        by_steps: dict[int, int] = {}
+        for cyc in cycles:
+            steps = len(_steps(cyc))
+            reds = cyc.cost.reductions
+            if by_steps.setdefault(steps, reds) != reds:
+                raise GateError(
+                    f"shifted trace (k={k}): two {steps}-step cycles pay "
+                    f"different reduction counts "
+                    f"({by_steps[steps]} vs {reds})")
+        per_k[k] = {"by_steps": by_steps,
+                    "total": root.cost.reductions,
+                    "cycles": len(cycles)}
+    ks = sorted(per_k)
+    base = per_k[ks[0]]["by_steps"]
+    for k in ks[1:]:
+        for steps, reds in per_k[k]["by_steps"].items():
+            if steps in base and base[steps] != reds:
+                raise GateError(
+                    f"reductions per {steps}-step family cycle depend on "
+                    f"the number of shifts: k={ks[0]} pays {base[steps]}, "
+                    f"k={k} pays {reds}")
+    lo, hi = per_k[ks[0]]["total"], per_k[ks[-1]]["total"]
+    if hi > ratio_cap * lo:
+        raise GateError(
+            f"a k={ks[-1]} shift family pays {hi} total reductions vs "
+            f"{lo} for k={ks[0]} (> {ratio_cap}x: the shared basis is "
+            f"not amortizing)")
+    return {"widths": ks,
+            "reductions_per_cycle": {
+                k: dict(sorted(per_k[k]["by_steps"].items()))
+                for k in ks},
+            "total_reductions": {k: per_k[k]["total"] for k in ks},
+            "headline_ratio": hi / lo if lo else float("inf")}
+
+
 def check_conservation(root: Span) -> dict[str, Any]:
     """Per-span exclusive costs must sum back to the root window.
 
@@ -365,6 +438,32 @@ def run_gate(exec_modes: tuple[str, ...] = ("fused", "per_rank"),
                 f"sketched-recycle per-cycle overhead varies with m: "
                 f"{sk_report}")
         mode_report["sketched_recycle"] = sk_report
+
+        # --- shifted families: reductions/cycle independent of #shifts --
+        # Full-rank RHS blocks so every width runs the same cycle shape;
+        # shared-basis and unprojected-recycled engines both checked.
+        rng = np.random.default_rng(77)
+        b_fam = rng.standard_normal((a.shape[0], 8))
+        shifts = [0.05 * (i + 1) for i in range(8)]
+        sh_report: dict[str, Any] = {}
+        for label, extra in (("bgmres", {}), ("bgcrodr", {"recycle": k})):
+            roots: dict[int, Span] = {}
+            for kf in (1, 4, 8):
+                opts = Options(krylov_method=label, gmres_restart=2 * m,
+                               orthogonalization="cgs2_1r", tol=1e-10,
+                               max_it=120, exec_mode=mode, trace="summary",
+                               **extra)
+                tr = Tracer(level="summary")
+                led = CostLedger()
+                with install(tr), ledger.install(led):
+                    api.solve(a, b_fam[:, :kf], options=opts,
+                              shifts=shifts[:kf])
+                ledger.current().merge(led)
+                roots[kf] = tr.roots[-1]
+                check_conservation(roots[kf])
+                check_step_reduction_bound(roots[kf])
+            sh_report[label] = check_shifted_shape(roots)
+        mode_report["shifted"] = sh_report
 
         report[mode] = mode_report
 

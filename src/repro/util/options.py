@@ -41,6 +41,7 @@ _SERVICE_MODES = ("sync", "async")
 _TRACE_LEVELS = ("off", "summary", "full")
 _PLAN_MODES = ("interpret", "compiled")
 _RECYCLE_SPACES = ("full", "sketched")
+_SHIFTED_VARIANTS = ("projected", "unprojected")
 
 
 @dataclass
@@ -182,6 +183,18 @@ class Options:
         deadline counts as a deadline miss (``service_deadline_misses``
         metric); requests submitted with an already-expired deadline are
         rejected at admission.
+    shifted_variant:
+        recycled shifted-family algorithm (``-hpddm_shifted_variant``):
+        ``"unprojected"`` (default) follows Burke's unprojected recycled
+        shifted method — the recycle pair ``(U_k, C_k)`` is harvested once
+        from the shared basis and reused across every shift without any
+        per-shift projection, so the per-cycle reduction count is
+        independent of the number of shifts; ``"projected"`` is the honest
+        contrast: each shift re-establishes ``(A + sigma M) U = C`` and
+        runs a projected GCRO-DR solve of its own, paying the per-shift
+        reductions the unprojected variant amortizes away.  Only consulted
+        by family solves (``api.solve(..., shifts=[...])``) with a
+        recycling ``krylov_method``.  See ``docs/SHIFTED.md``.
     service_queue_depth:
         admission-control bound of the async service
         (``-hpddm_service_queue_depth``): maximum queued (not yet
@@ -216,6 +229,7 @@ class Options:
     service_shards: int = 1
     service_deadline: float = 0.0
     service_queue_depth: int = 0
+    shifted_variant: str = "unprojected"
     verbosity: int = 0
     check_invariants: bool = False
     extra: dict[str, Any] = field(default_factory=dict)
@@ -297,6 +311,11 @@ class Options:
         if self.service_queue_depth < 0:
             raise OptionError("service_queue_depth must be >= 0 "
                               "(0 = unbounded)")
+        if self.shifted_variant not in _SHIFTED_VARIANTS:
+            raise OptionError(
+                f"unknown shifted_variant {self.shifted_variant!r}; "
+                f"expected one of {_SHIFTED_VARIANTS}"
+            )
         if self.gmres_restart < 1:
             raise OptionError("gmres_restart must be >= 1")
         if self.max_it < 1:
@@ -383,6 +402,8 @@ class Options:
         if self.service_queue_depth != 0:
             args += ["-hpddm_service_queue_depth",
                      str(self.service_queue_depth)]
+        if self.shifted_variant != "unprojected":
+            args += ["-hpddm_shifted_variant", self.shifted_variant]
         return args
 
 

@@ -56,6 +56,9 @@ class Config:
     #: route the solve through the service front end: None = direct
     #: ``repro.solve``, "sync"/"async" = the matching ``make_service``
     service_mode: str | None = None
+    #: number of shifts for a shifted-family solve (0 = scalar solve);
+    #: family configs are unpreconditioned (the engine rejects ``m``)
+    shifts: int = 0
 
     def id(self) -> str:
         dt = "c128" if self.dtype is np.complex128 else "f64"
@@ -70,6 +73,8 @@ class Config:
             base += f"-{self.plan}"
         if self.service_mode is not None:
             base += f"-svc_{self.service_mode}"
+        if self.shifts:
+            base += f"-sh{self.shifts}"
         return base
 
     def options(self, *, verify: str = "full", tol: float = 1e-8) -> Options:
@@ -138,6 +143,12 @@ def conformance_matrix(full: bool = False) -> list[Config]:
         for mode in ("sync", "async"):
             add(Config("gmres", p=3, service_mode=mode))
             add(Config("gcrodr", p=3, service_mode=mode))
+        # shifted-family axis: shared-basis and unprojected-recycled
+        # engines, interpret and compiled plans (families reject m)
+        add(Config("bgmres", p=1, ortho="cgs2_1r", shifts=4, precond=False))
+        add(Config("bgcrodr", p=1, ortho="cgs2_1r", shifts=4, precond=False))
+        add(Config("bgcrodr", p=1, ortho="cgs2_1r", shifts=4, precond=False,
+                   plan="compiled"))
         return configs
 
     for method, caps in SOLVERS.items():
@@ -184,6 +195,16 @@ def conformance_matrix(full: bool = False) -> list[Config]:
                strategy="B"))
     add(Config("gcrodr", p=1, ortho="sketched", recycle_space="sketched",
                dtype=np.complex128))
+    # shifted-family axis: both engines x exec mode x plan, plus a
+    # complex-shift spot check
+    for method in ("bgmres", "bgcrodr"):
+        for mode in EXEC_MODES:
+            for plan in ("interpret", "compiled"):
+                add(Config(method, p=1, ortho="cgs2_1r", shifts=4,
+                           precond=False, exec_mode=mode, plan=plan))
+    add(Config("bgmres", p=1, ortho="cgs2_1r", shifts=4, precond=False,
+               dtype=np.complex128))
+    add(Config("bgcrodr", p=1, ortho="cholqr2", shifts=8, precond=False))
     return configs
 
 
@@ -259,6 +280,8 @@ def assert_conforms(cfg: Config, *, verify: str = "full",
     4. recyclers return a recycled space whose basis is orthonormal;
     5. the verify report is attached and clean.
     """
+    if cfg.shifts:
+        return _assert_family_conforms(cfg, verify=verify, tol=tol)
     if cfg.service_mode is not None:
         # the service path runs verify at "cheap": the full Arnoldi
         # re-verification belongs to the direct-solve axis, the service
@@ -303,6 +326,53 @@ def assert_conforms(cfg: Config, *, verify: str = "full",
             drift = np.linalg.norm(g - np.eye(g.shape[0], dtype=g.dtype))
             if drift > 1e-6 * np.sqrt(g.shape[0]):
                 out.failures.append(f"recycled basis drift {drift:.2e}")
+    return out
+
+
+def _assert_family_conforms(cfg: Config, *, verify: str,
+                            tol: float) -> Outcome:
+    """Family-config oracles: the shifted analogue of the scalar list.
+
+    1. every shift converges; 2. each shift's *true* residual against the
+    explicitly shifted operator meets tolerance; 3. per-shift histories
+    are finite and end consistently; 4. the verify report is attached and
+    clean; 5. a recycled family returns an orthonormal ``C_k``.
+    """
+    from repro.krylov.shifted import shifted_matrix
+
+    a, b, _ = make_problem(cfg)
+    o = cfg.options(verify=verify, tol=tol)
+    shifts = [0.05 * (i + 1) for i in range(cfg.shifts)]
+    fam = solve(a, b, options=o, shifts=shifts)
+    out = Outcome(cfg, fam)
+
+    if not np.all(fam.converged):
+        out.failures.append(f"not converged after {fam.iterations} its")
+    rhs = np.linalg.norm(b, axis=0)
+    rhs = np.where(rhs > 0, rhs, 1.0)
+    for sigma, res in zip(fam.shifts, fam.results):
+        x = np.atleast_2d(np.asarray(res.x).T).T
+        rel = true_residual_norms(shifted_matrix(a, sigma), x, b) / rhs
+        if np.any(rel > 10.0 * tol):
+            out.failures.append(
+                f"shift {sigma}: true residual {rel.max():.2e} > 10*tol")
+        hist = res.history.matrix()
+        if not np.all(np.isfinite(hist)):
+            out.failures.append(f"shift {sigma}: non-finite history")
+    if verify != "off":
+        rep = fam.info.get("verify")
+        if rep is None:
+            out.failures.append("missing verify report")
+        elif rep["violations"]:
+            out.failures.append(f"verify violations: {rep['violations']}")
+        elif rep["checks"] == 0:
+            out.failures.append("verify report recorded zero checks")
+    space = fam.info.get("recycle")
+    if space is not None and space.c is not None and space.c.shape[1]:
+        g = space.c.conj().T @ space.c
+        drift = np.linalg.norm(g - np.eye(g.shape[0], dtype=g.dtype))
+        if drift > 1e-6 * np.sqrt(g.shape[0]):
+            out.failures.append(f"recycled basis drift {drift:.2e}")
     return out
 
 

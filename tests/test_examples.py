@@ -80,6 +80,16 @@ def test_ex32_cli_rejects_unknown_pc():
         ex32_cli.main(["-pc_type", "ilu"])
 
 
+def test_frequency_sweep_runs(capsys):
+    import frequency_sweep
+    frequency_sweep.run(4, 4)
+    out = capsys.readouterr().out
+    assert "Maxwell frequency sweep" in out
+    assert "speedup (family vs sequential)" in out
+    assert "converged True" in out
+    assert "converged False" not in out
+
+
 def test_cost_model_scaling_runs(capsys):
     import cost_model_scaling
     cost_model_scaling.run(300)

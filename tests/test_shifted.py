@@ -1,0 +1,379 @@
+"""Tests for the shifted-system family engine.
+
+Covers the contract of :mod:`repro.krylov.shifted` end-to-end:
+
+* per-shift sequential solves are the convergence oracle — shared-basis
+  solutions match them to solver tolerance, shared and recycled engines,
+  with and without a mass matrix;
+* ledger-counted reduction independence: a family at k in {1, 4, 8}
+  shifts pays a per-shift-count-independent number of global reductions
+  (the k=8 family costs <= 1.25x the k=1 solve, vs ~8x sequential);
+* interpret/compiled bit-identity: same ``CostLedger.counts()``, same
+  solution bits;
+* recycling across families: a pair harvested from one family
+  accelerates the next, across shifts, without per-shift projection;
+* mutation test: a per-shift extra reduction smuggled into the
+  least-squares core trips :func:`repro.trace.gate.check_shifted_shape`;
+* the service front ends coalesce families keyed on
+  ``(fp(A), fp(M), rhs-digest)`` into one dispatch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import Options, solve
+from repro.krylov import shifted as shifted_mod
+from repro.krylov.shifted import (ShiftedFamilyResult, shifted_matrix,
+                                  sequential_shifted_solves,
+                                  solve_shifted_family)
+from repro.service import SolveService
+from repro.service.scheduler import AsyncSolveService
+from repro.trace.gate import GateError, check_shifted_shape
+from repro.trace.tracer import Tracer, install as install_tracer
+from repro.util import ledger
+from repro.util.ledger import CostLedger
+from repro.util.options import OptionError
+
+from conftest import laplacian_2d, make_rng, relative_residuals
+
+N_GRID = 16
+SHIFTS8 = [0.05 * (i + 1) for i in range(8)]
+
+
+def family_problem(p: int = 1, complex_: bool = False):
+    a = laplacian_2d(N_GRID)
+    n = a.shape[0]
+    rng = make_rng(31, p, int(complex_))
+    b = rng.standard_normal((n, p) if p > 1 else n)
+    if complex_:
+        a = (a.astype(np.complex128) + 0.1j * sp.eye(n)).tocsr()
+        b = b + 1j * rng.standard_normal(b.shape)
+    return a, b
+
+
+def shared_opts(**kw) -> Options:
+    base = dict(krylov_method="bgmres", gmres_restart=25, tol=1e-9,
+                orthogonalization="cgs2_1r")
+    base.update(kw)
+    return Options(**base)
+
+
+def recycled_opts(**kw) -> Options:
+    base = dict(krylov_method="bgcrodr", gmres_restart=25, recycle=8,
+                tol=1e-9, orthogonalization="cgs2_1r")
+    base.update(kw)
+    return Options(**base)
+
+
+# ---------------------------------------------------------------------------
+# oracle parity: shared basis vs per-shift sequential solves
+# ---------------------------------------------------------------------------
+class TestOracleParity:
+    @pytest.mark.parametrize("opts_fn", [shared_opts, recycled_opts],
+                             ids=["shared", "recycled"])
+    def test_matches_sequential_oracle(self, opts_fn):
+        a, b = family_problem()
+        opts = opts_fn()
+        fam = solve(a, b, options=opts, shifts=SHIFTS8[:4])
+        seq = sequential_shifted_solves(a, b, SHIFTS8[:4], options=opts)
+        assert fam.converged.all() and seq.converged.all()
+        for s, rf, rs in zip(fam.shifts, fam.results, seq.results):
+            asig = shifted_matrix(a, s)
+            assert relative_residuals(asig, np.asarray(rf.x), b).max() < 1e-8
+            # both land inside tolerance of the same true solution
+            gap = np.linalg.norm(np.ravel(rf.x) - np.ravel(rs.x))
+            gap /= np.linalg.norm(np.ravel(rs.x))
+            assert gap < 1e-6, f"shift {s}: shared/sequential gap {gap:.2e}"
+
+    def test_complex_shifts(self):
+        a, b = family_problem(complex_=True)
+        shifts = [0.1 + 0.05j, 0.2 - 0.02j, 0.3]
+        fam = solve(a, b, options=shared_opts(), shifts=shifts)
+        assert fam.converged.all()
+        for s, res in zip(fam.shifts, fam.results):
+            rel = relative_residuals(shifted_matrix(a, s),
+                                     np.asarray(res.x), b)
+            assert rel.max() < 1e-8
+
+    def test_mass_matrix(self):
+        a, b = family_problem()
+        rng = make_rng(77)
+        mass = sp.diags(1.0 + rng.random(a.shape[0])).tocsr()
+        fam = solve(a, b, options=shared_opts(), shifts=SHIFTS8[:4],
+                    mass=mass)
+        assert fam.converged.all()
+        for s, res in zip(fam.shifts, fam.results):
+            rel = relative_residuals(shifted_matrix(a, s, mass),
+                                     np.asarray(res.x), b)
+            assert rel.max() < 1e-7
+
+    def test_per_shift_rhs_block(self):
+        a, _ = family_problem()
+        rng = make_rng(5)
+        b = rng.standard_normal((a.shape[0], 4))
+        fam = solve(a, b, options=shared_opts(), shifts=SHIFTS8[:4])
+        assert fam.converged.all()
+        for i, (s, res) in enumerate(zip(fam.shifts, fam.results)):
+            rel = relative_residuals(shifted_matrix(a, s),
+                                     np.asarray(res.x), b[:, i])
+            assert rel.max() < 1e-8
+
+    def test_projected_variant_is_sequential_contrast(self):
+        a, b = family_problem()
+        opts = recycled_opts(shifted_variant="projected")
+        fam = solve(a, b, options=opts, shifts=SHIFTS8[:4])
+        assert fam.method == "shifted_projected"
+        assert fam.converged.all()
+        assert fam.info["variant"] == "projected"
+
+    def test_preconditioner_rejected(self):
+        a, b = family_problem()
+        m = sp.diags(1.0 / a.diagonal()).tocsr()
+        with pytest.raises(OptionError, match="shift invariance"):
+            solve(a, b, m, options=shared_opts(), shifts=SHIFTS8[:2])
+
+    def test_mass_without_shifts_rejected(self):
+        a, b = family_problem()
+        with pytest.raises(OptionError, match="mass"):
+            solve(a, b, options=shared_opts(),
+                  mass=sp.eye(a.shape[0]).tocsr())
+
+    def test_bad_variant_rejected(self):
+        with pytest.raises(OptionError, match="shifted_variant"):
+            Options(shifted_variant="sideways")
+
+
+# ---------------------------------------------------------------------------
+# the headline: reductions independent of the number of shifts
+# ---------------------------------------------------------------------------
+def _count_reductions(a, b, opts, shifts):
+    led = CostLedger()
+    with ledger.install(led):
+        fam = solve(a, b, options=opts, shifts=shifts)
+    assert fam.converged.all()
+    return led.counts()[0], fam
+
+
+class TestReductionIndependence:
+    @pytest.mark.parametrize("opts_fn", [shared_opts, recycled_opts],
+                             ids=["shared", "recycled"])
+    def test_family_reductions_independent_of_k(self, opts_fn):
+        a, _ = family_problem()
+        rng = make_rng(13)
+        b = rng.standard_normal((a.shape[0], 8))
+        # full-rank per-shift RHS: identical cycle structure at any width
+        counts = {k: _count_reductions(a, b[:, :k], opts_fn(),
+                                       SHIFTS8[:k])[0]
+                  for k in (1, 4, 8)}
+        assert counts[8] <= 1.25 * counts[1], counts
+        assert counts[4] <= 1.25 * counts[1], counts
+
+    def test_family_beats_sequential_by_construction(self):
+        a, b = family_problem()
+        opts = shared_opts()
+        fam_reds, _ = _count_reductions(a, b, opts, SHIFTS8)
+        led = CostLedger()
+        with ledger.install(led):
+            seq = sequential_shifted_solves(a, b, SHIFTS8, options=opts)
+        assert seq.converged.all()
+        seq_reds = led.counts()[0]
+        # k=8 family ~1x one solve; sequential ~8x. demand >= 3x headroom
+        assert seq_reds >= 3 * fam_reds, (seq_reds, fam_reds)
+
+
+# ---------------------------------------------------------------------------
+# interpret / compiled bit-identity
+# ---------------------------------------------------------------------------
+class TestPlanBitIdentity:
+    @pytest.mark.parametrize("opts_fn", [shared_opts, recycled_opts],
+                             ids=["shared", "recycled"])
+    def test_counts_and_solutions_identical(self, opts_fn):
+        a, b = family_problem()
+        outs = {}
+        for plan in ("interpret", "compiled"):
+            led = CostLedger()
+            with ledger.install(led):
+                fam = solve(a, b, options=opts_fn(plan=plan),
+                            shifts=SHIFTS8[:4])
+            outs[plan] = (led.counts(), fam)
+        ci, fi = outs["interpret"]
+        cc, fc = outs["compiled"]
+        assert ci == cc
+        for ri, rc in zip(fi.results, fc.results):
+            assert np.array_equal(np.asarray(ri.x), np.asarray(rc.x))
+
+
+# ---------------------------------------------------------------------------
+# recycling across families
+# ---------------------------------------------------------------------------
+class TestRecycleAcrossShifts:
+    def test_family_recycle_accelerates_next_family(self):
+        # large enough that the harvested pair pays for the inner steps
+        # it displaces (on tiny problems the cold solve converges in two
+        # cycles and adoption cannot win)
+        a = laplacian_2d(20)
+        rng = make_rng(99)
+        b = rng.standard_normal(a.shape[0])
+        b2 = rng.standard_normal(a.shape[0])
+        opts = recycled_opts()
+        fam1 = solve(a, b, options=opts, shifts=SHIFTS8[:4])
+        space = fam1.info["recycle"]
+        assert space is not None and space.meta.get("family")
+        warm = solve(a, b2, options=opts, shifts=SHIFTS8[:4], recycle=space)
+        cold = solve(a, b2, options=opts, shifts=SHIFTS8[:4])
+        assert warm.converged.all() and cold.converged.all()
+        assert warm.iterations <= cold.iterations
+        for s, res in zip(warm.shifts, warm.results):
+            rel = relative_residuals(shifted_matrix(a, s),
+                                     np.asarray(res.x), b2)
+            assert rel.max() < 1e-8
+
+    def test_unprojected_beats_projected_on_reductions(self):
+        a, b = family_problem()
+        led_u, led_p = CostLedger(), CostLedger()
+        with ledger.install(led_u):
+            fam_u = solve(a, b, options=recycled_opts(), shifts=SHIFTS8[:4])
+        with ledger.install(led_p):
+            fam_p = solve(a, b, options=recycled_opts(
+                shifted_variant="projected"), shifts=SHIFTS8[:4])
+        assert fam_u.converged.all() and fam_p.converged.all()
+        assert led_u.counts()[0] < led_p.counts()[0]
+
+
+# ---------------------------------------------------------------------------
+# the gate, and the mutation that must trip it
+# ---------------------------------------------------------------------------
+def _traced_family_roots(opts_fn, widths=(1, 4, 8)):
+    a, _ = family_problem()
+    rng = make_rng(13)
+    b = rng.standard_normal((a.shape[0], max(widths)))
+    roots = {}
+    for k in widths:
+        tr = Tracer(level="summary")
+        led = CostLedger()
+        with install_tracer(tr), ledger.install(led):
+            fam = solve(a, b[:, :k],
+                        options=opts_fn(trace="summary"),
+                        shifts=SHIFTS8[:k])
+        assert fam.converged.all()
+        roots[k] = tr.roots[-1]
+    return roots
+
+
+class TestShiftedGate:
+    @pytest.mark.parametrize("opts_fn", [shared_opts, recycled_opts],
+                             ids=["shared", "recycled"])
+    def test_gate_passes_from_spans(self, opts_fn):
+        rep = check_shifted_shape(_traced_family_roots(opts_fn))
+        assert rep["headline_ratio"] <= 1.25
+        assert rep["widths"] == [1, 4, 8]
+
+    def test_mutation_extra_per_shift_reduction_trips_gate(self,
+                                                           monkeypatch):
+        """A per-shift reduction smuggled into the LS core must be caught.
+
+        The mutant charges one global reduction per shift inside the
+        per-shift Hessenberg solve — exactly the cost the shared basis
+        exists to avoid.  ``check_shifted_shape`` must refuse the trace.
+        """
+        real = shifted_mod._per_shift_ls
+
+        def leaky(*args, **kwargs):
+            ledger.current().reduction(nbytes=8)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(shifted_mod, "_per_shift_ls", leaky)
+        with pytest.raises(GateError, match="least_squares|depend"):
+            check_shifted_shape(_traced_family_roots(shared_opts))
+
+
+# ---------------------------------------------------------------------------
+# service integration: one family, one dispatch
+# ---------------------------------------------------------------------------
+class TestFamilyService:
+    def test_shift_sets_coalesce_to_one_dispatch(self):
+        a, b = family_problem()
+        svc = SolveService(options=shared_opts())
+        r1 = svc.submit_family(a, b, SHIFTS8[:4])
+        r2 = svc.submit_family(a, b, SHIFTS8[2:7])
+        svc.flush()
+        assert len(svc.batches) == 1
+        rec = svc.batches[0]
+        assert rec["family"] and rec["width"] == 7  # union of the two sets
+        for req in (r1, r2):
+            fam = req.result
+            assert isinstance(fam, ShiftedFamilyResult)
+            assert tuple(fam.shifts) == req.shifts
+            assert fam.converged.all()
+            assert fam.info["service"]["coalesced_requests"] == 2
+
+    def test_distinct_rhs_do_not_coalesce(self):
+        a, b = family_problem()
+        rng = make_rng(3)
+        svc = SolveService(options=shared_opts())
+        svc.submit_family(a, b, SHIFTS8[:2])
+        svc.submit_family(a, rng.standard_normal(a.shape[0]), SHIFTS8[:2])
+        svc.flush()
+        assert len(svc.batches) == 2
+
+    def test_mass_lu_is_one_setup_cache_entry(self):
+        a, b = family_problem()
+        rng = make_rng(21)
+        mass = sp.diags(1.0 + rng.random(a.shape[0])).tocsr()
+        svc = SolveService(options=shared_opts())
+        f1 = svc.submit_family(a, b, SHIFTS8[:3], mass=mass)
+        svc.flush()
+        f2 = svc.submit_family(a, rng.standard_normal(a.shape[0]),
+                               SHIFTS8[:3], mass=mass)
+        svc.flush()
+        assert f1.result.info["service"]["setup_cache_hit"] is False
+        assert f2.result.info["service"]["setup_cache_hit"] is True
+        assert f1.result.converged.all() and f2.result.converged.all()
+
+    def test_family_recycle_cached_across_dispatches(self):
+        a, b = family_problem()
+        rng = make_rng(23)
+        svc = SolveService(options=recycled_opts())
+        f1 = svc.submit_family(a, b, SHIFTS8[:4])
+        svc.flush()
+        f2 = svc.submit_family(a, rng.standard_normal(a.shape[0]),
+                               SHIFTS8[:4])
+        svc.flush()
+        assert f1.result.info["service"]["recycle_cache_hit"] is False
+        assert f2.result.info["service"]["recycle_cache_hit"] is True
+        assert f2.result.iterations <= f1.result.iterations
+
+    def test_async_family_request(self):
+        a, b = family_problem()
+        opts = shared_opts(service_mode="async", service_shards=2)
+        svc = AsyncSolveService(options=opts)
+        req = svc.submit_family(a, b, SHIFTS8[:4], deadline=60.0,
+                                tenant="sweep")
+        assert req.rejected is None
+        svc.drain()
+        fam = req.result
+        assert fam.converged.all()
+        info = fam.info["service"]
+        assert info["family"] and info["mode"] == "async"
+        assert info["latency"] > 0.0
+
+    def test_empty_shifts_rejected(self):
+        a, b = family_problem()
+        svc = SolveService(options=shared_opts())
+        with pytest.raises(ValueError, match="at least one shift"):
+            svc.submit_family(a, b, [])
+
+    def test_scatter_cost_covers_own_shifts(self):
+        a, b = family_problem()
+        svc = SolveService(options=shared_opts())
+        r1 = svc.submit_family(a, b, SHIFTS8[:4])
+        r2 = svc.submit_family(a, b, SHIFTS8[4:8])
+        svc.flush()
+        batch = svc.batches[0]["ledger"].counts()
+        c1 = r1.result.info["service"]["cost"].counts()
+        c2 = r2.result.info["service"]["cost"].counts()
+        # disjoint shift sets: per-request shares conserve the batch
+        assert c1[0] + c2[0] == batch[0]
