@@ -1,9 +1,10 @@
 #!/usr/bin/env python
 """Bench-trajectory regression gate.
 
-Re-runs the four quick perf benches (``bench_micro_kernels --quick``,
+Re-runs the five quick perf benches (``bench_micro_kernels --quick``,
 ``bench_service --quick``, ``bench_traffic --quick``,
-``bench_shifted --quick``), reduces them to a small set of named metrics,
+``bench_shifted --quick``, ``bench_transient --quick``), reduces them to
+a small set of named metrics,
 compares against the most recent same-config entry of
 ``benchmarks/results/BENCH_trajectory.json`` (bootstrapping from the
 checked-in full-config ``BENCH_*.json`` gates when the trajectory is
@@ -56,7 +57,8 @@ def run_quick_benches(tmpdir: str) -> tuple[dict, dict, dict, dict]:
     for script, name in (("bench_micro_kernels.py", "kernels"),
                          ("bench_service.py", "service"),
                          ("bench_traffic.py", "traffic"),
-                         ("bench_shifted.py", "shifted")):
+                         ("bench_shifted.py", "shifted"),
+                         ("bench_transient.py", "transient")):
         path = os.path.join(tmpdir, f"{name}.json")
         cmd = [sys.executable, os.path.join(ROOT, "benchmarks", script),
                "--quick", "--check", "--out", path]
@@ -70,12 +72,14 @@ def run_quick_benches(tmpdir: str) -> tuple[dict, dict, dict, dict]:
                              f"(exit {proc.returncode})")
         with open(path, encoding="utf-8") as fh:
             out[name] = json.load(fh)
-    return out["kernels"], out["service"], out["traffic"], out["shifted"]
+    return (out["kernels"], out["service"], out["traffic"], out["shifted"],
+            out["transient"])
 
 
 def extract_metrics(kernels: dict, service: dict,
                     traffic: dict | None = None,
-                    shifted: dict | None = None) -> dict[str, dict]:
+                    shifted: dict | None = None,
+                    transient: dict | None = None) -> dict[str, dict]:
     """Reduce raw bench JSON to ``{metric: {value, kind}}``."""
     m: dict[str, dict] = {}
     speed = kernels["speedup_fused_over_per_rank"]
@@ -150,6 +154,25 @@ def extract_metrics(kernels: dict, service: dict,
                 "kind": "modeled"}
         m["shifted_all_converged"] = {
             "value": int(shifted["gate"]["all_converged"]), "kind": "exact"}
+    if transient is not None:
+        # ledger counts + perfmodel at fixed config: deterministic
+        m["transient_reuse_multiple"] = {
+            "value": float(transient["reuse_multiple"]), "kind": "modeled"}
+        for rung in ("no_reuse", "cache_only", "cache_recycle",
+                     "cache_recycle_shifted"):
+            m[f"transient_{rung}_time_per_sim_second"] = {
+                "value": float(transient["heat_ladder"][rung]
+                               ["time_per_simulated_second"]),
+                "kind": "modeled"}
+        m["transient_all_converged"] = {
+            "value": int(transient["gate"]["all_converged"]),
+            "kind": "exact"}
+        m["transient_ledger_verified"] = {
+            "value": int(transient["gate"]["ledger_verified"]),
+            "kind": "exact"}
+        m["transient_parity_identical"] = {
+            "value": int(transient["gate"]["parity_iterations_identical"]),
+            "kind": "exact"}
     return m
 
 
@@ -235,6 +258,14 @@ def bootstrap_floors(current: dict[str, dict]) -> list[str]:
                                 f"about one solve in reductions)")
         if current["shifted_all_converged"]["value"] != 1:
             failures.append("shifted_all_converged != 1")
+    if "transient_reuse_multiple" in current:
+        if current["transient_reuse_multiple"]["value"] < 3.0:
+            failures.append("transient_reuse_multiple < 3.0 (end-to-end "
+                            "engine must beat the no-reuse oracle 3x)")
+        for name in ("transient_all_converged", "transient_ledger_verified",
+                     "transient_parity_identical"):
+            if current[name]["value"] != 1:
+                failures.append(f"{name} != 1")
     return failures
 
 
@@ -277,6 +308,8 @@ def main(argv: list[str] | None = None) -> int:
                     help="reuse an existing quick bench_traffic JSON")
     ap.add_argument("--current-shifted", type=str, default=None,
                     help="reuse an existing quick bench_shifted JSON")
+    ap.add_argument("--current-transient", type=str, default=None,
+                    help="reuse an existing quick bench_transient JSON")
     ap.add_argument("--no-append", action="store_true",
                     help="compare only; do not extend the trajectory")
     ap.add_argument("--self-test", action="store_true",
@@ -296,10 +329,15 @@ def main(argv: list[str] | None = None) -> int:
         if ns.current_shifted:
             with open(ns.current_shifted, encoding="utf-8") as fh:
                 shifted = json.load(fh)
+        transient = None
+        if ns.current_transient:
+            with open(ns.current_transient, encoding="utf-8") as fh:
+                transient = json.load(fh)
     else:
         with tempfile.TemporaryDirectory() as tmp:
-            kernels, service, traffic, shifted = run_quick_benches(tmp)
-    current = extract_metrics(kernels, service, traffic, shifted)
+            (kernels, service, traffic, shifted,
+             transient) = run_quick_benches(tmp)
+    current = extract_metrics(kernels, service, traffic, shifted, transient)
 
     if ns.self_test:
         return self_test(current)

@@ -325,9 +325,13 @@ class Solver:
             space = self.setup_cache.get(fp, self._cache_kind())
             if space is not None:
                 self.recycled = space
-                if same_system is None and not fp.opaque:
+                if same_system is None and not fp.opaque \
+                        and space.matches_fingerprint(fp):
                     # a value-fingerprint hit proves the operator equals the
-                    # one the cached space was built for
+                    # one the cached space was built for — unless the space
+                    # was adopted from a neighboring operator
+                    # (``SetupCache.adopt_from``), whose foreign stamp forces
+                    # the adoption-boundary repair instead
                     same_system = True
         prec = m if m is not None else self.preconditioner
         res = solve(op, b, prec, options=self.options, x0=x0,

@@ -9,6 +9,7 @@ from .partition import OverlappingDecomposition, decompose
 from .poisson import (PAPER_NUS, PoissonProblem, poisson_2d,
                       poisson_2d_variable)
 from .tetmesh import TetMesh, box_tet_mesh, cylinder_mask
+from .transient import HeatSequence, MaxwellRampSequence, SequenceStep
 
 __all__ = [
     "PoissonProblem",
@@ -32,4 +33,7 @@ __all__ = [
     "decompose_maxwell",
     "OverlappingDecomposition",
     "decompose",
+    "SequenceStep",
+    "HeatSequence",
+    "MaxwellRampSequence",
 ]

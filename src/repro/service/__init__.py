@@ -7,6 +7,7 @@ See :mod:`repro.service.service` for the architecture, and
 from .cache import SetupCache
 from .fingerprint import Fingerprint, operator_fingerprint
 from .scheduler import AsyncRequest, AsyncSolveService, make_service
+from .sequence import SequenceDriver, SequenceHandle
 from .service import SolveRequest, SolveService, options_digest, options_key
 from .shard import ConsistentHashRouter, ShardedSetupCache
 
@@ -15,6 +16,8 @@ __all__ = [
     "AsyncSolveService",
     "ConsistentHashRouter",
     "Fingerprint",
+    "SequenceDriver",
+    "SequenceHandle",
     "SetupCache",
     "ShardedSetupCache",
     "SolveRequest",

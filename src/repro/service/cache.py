@@ -88,6 +88,46 @@ class SetupCache:
         self.put(fp, kind, built)
         return built, False
 
+    def adopt_from(self, fp_new: Fingerprint, fp_prev: Fingerprint,
+                   kinds: list[str] | None = None) -> list[str]:
+        """Carry recycle artifacts from a neighboring operator's entry.
+
+        Transient sequences produce *adjacent* operators whose recycled
+        subspaces are near-invariant but whose fingerprints differ, so a
+        plain ``get(fp_new, ...)`` can never seed from the previous step.
+        ``adopt_from`` copies the recycle-kind artifacts of ``fp_prev``
+        into ``fp_new``'s entry where ``fp_new`` does not already hold
+        one.  The adopted artifact keeps its *original* fingerprint stamp:
+        the solver sees a pair that does not match the new operator and
+        must run the adoption-boundary repair (variable-sequence
+        ``qr(A U)`` update) — adopted spaces are repaired, never trusted.
+
+        ``kinds`` restricts the carry-over to explicit kind keys; by
+        default every ``recycle:*`` / ``family_recycle:*`` artifact is
+        eligible.  Returns the list of kinds actually adopted.
+        """
+        if fp_new == fp_prev:
+            return []
+        prev = self._entries.get(fp_prev)
+        if not prev:
+            return []
+        if kinds is None:
+            kinds = [k for k in prev
+                     if k.startswith("recycle:")
+                     or k.startswith("family_recycle:")]
+        cur = self._entries.get(fp_new, {})
+        adopted: list[str] = []
+        for kind in kinds:
+            if kind not in prev or kind in cur:
+                continue
+            artifact = prev[kind]
+            copier = getattr(artifact, "copy", None)
+            if callable(copier):
+                artifact = copier()
+            self.put(fp_new, kind, artifact)
+            adopted.append(kind)
+        return adopted
+
     # -- management ------------------------------------------------------
     def invalidate(self, fp: Fingerprint | None = None,
                    kind: str | None = None) -> None:

@@ -404,6 +404,7 @@ class SolveService:
             with ledger.install(batch_led):
                 m, setup_hit = self._resolve_preconditioner(chunk[0].a, fp)
                 recycle = same_system = None
+                adopted = False
                 if recycling:
                     recycle, found = self._cached_recycle(fp, okey, p)
                     # the cache key is the *value* fingerprint, so a hit
@@ -411,9 +412,14 @@ class SolveService:
                     # paper's same-system fast path (section III-B)
                     # automatically — except for opaque operators, where
                     # equality only means object identity and in-place
-                    # mutation is undetectable, so the conservative
-                    # re-orthonormalization runs instead.
-                    if found and not fp.opaque:
+                    # mutation is undetectable, and except for *adopted*
+                    # spaces (``SetupCache.adopt_from``), which keep the
+                    # previous operator's fingerprint stamp so the
+                    # adoption-boundary repair runs instead of being
+                    # trusted against the wrong operator.
+                    if found and not recycle.matches_fingerprint(fp):
+                        adopted = True
+                    elif found and not fp.opaque:
                         same_system = True
                 res = api.solve(chunk[0].a, bmat, m, options=opts, x0=x0,
                                 recycle=recycle, same_system=same_system)
@@ -434,7 +440,8 @@ class SolveService:
 
         self._scatter(chunk, res, batch_led, batch_id=batch_id, p=p,
                       setup_hit=setup_hit,
-                      recycle_hit=bool(same_system) if recycling else None)
+                      recycle_hit=bool(same_system) if recycling else None,
+                      recycle_adopted=adopted if recycling else None)
         self.batches.append({
             "batch": batch_id,
             "fingerprint": fp.short(),
@@ -450,7 +457,8 @@ class SolveService:
 
     def _scatter(self, chunk: list[SolveRequest], res: SolveResult,
                  batch_led: CostLedger, *, batch_id: int, p: int,
-                 setup_hit: bool | None, recycle_hit: bool | None) -> None:
+                 setup_hit: bool | None, recycle_hit: bool | None,
+                 recycle_adopted: bool | None = None) -> None:
         """Slice the block result and the ledger back onto each request."""
         shares = batch_led.split(p)
         x = as_block(np.asarray(res.x))
@@ -475,6 +483,7 @@ class SolveService:
                     "fingerprint": req.fingerprint.short(),
                     "setup_cache_hit": setup_hit,
                     "recycle_cache_hit": recycle_hit,
+                    "recycle_adopted": recycle_adopted,
                     "cache": cache_stats,
                     "cost": cost,
                 },

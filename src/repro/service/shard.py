@@ -118,6 +118,41 @@ class ShardedSetupCache:
         return self.shards[self.router.route(fp)].get_or_build(
             fp, kind, builder)
 
+    def adopt_from(self, fp_new: Fingerprint, fp_prev: Fingerprint,
+                   kinds: list[str] | None = None) -> list[str]:
+        """Carry recycle artifacts across shards (see ``SetupCache``).
+
+        ``fp_prev`` and ``fp_new`` may hash to different shards; the
+        artifacts are read from the previous operator's shard and written
+        into the new operator's shard, preserving the foreign fingerprint
+        stamp so the adoption-boundary repair still fires.
+        """
+        if fp_new == fp_prev:
+            return []
+        src = self.shards[self.router.route(fp_prev)]
+        dst = self.shards[self.router.route(fp_new)]
+        if src is dst:
+            return src.adopt_from(fp_new, fp_prev, kinds)
+        prev = src._entries.get(fp_prev)
+        if not prev:
+            return []
+        if kinds is None:
+            kinds = [k for k in prev
+                     if k.startswith("recycle:")
+                     or k.startswith("family_recycle:")]
+        cur = dst._entries.get(fp_new, {})
+        adopted: list[str] = []
+        for kind in kinds:
+            if kind not in prev or kind in cur:
+                continue
+            artifact = prev[kind]
+            copier = getattr(artifact, "copy", None)
+            if callable(copier):
+                artifact = copier()
+            dst.put(fp_new, kind, artifact)
+            adopted.append(kind)
+        return adopted
+
     def invalidate(self, fp: Fingerprint | None = None,
                    kind: str | None = None) -> None:
         if fp is None:

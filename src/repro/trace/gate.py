@@ -52,8 +52,9 @@ from .export import counts_signature
 from .tracer import Span, Tracer, install
 
 __all__ = ["GateError", "check_conservation", "check_gcrodr_shape",
-           "check_gmres_shape", "check_sketched_recycle_shape",
-           "check_shifted_shape", "check_step_reduction_bound", "run_gate"]
+           "check_gmres_shape", "check_sequence_shape",
+           "check_sketched_recycle_shape", "check_shifted_shape",
+           "check_step_reduction_bound", "run_gate"]
 
 
 class GateError(AssertionError):
@@ -314,6 +315,85 @@ def check_shifted_shape(roots: dict[int, Span], ratio_cap: float = 1.25
             "headline_ratio": hi / lo if lo else float("inf")}
 
 
+def check_sequence_shape(root: Span) -> dict[str, Any]:
+    """Transient-sequence shape: reuse must be visible in the spans.
+
+    ``root`` holds a :class:`repro.service.SequenceDriver` run
+    (``sequence.run`` > ``sequence.wave`` > ``service.batch`` +
+    ``sequence.step`` leaves).  Derived from spans alone:
+
+    * every ``sequence.step`` leaf maps (by its ``batch`` attribute) to a
+      ``service.batch`` span in the same tree;
+    * a step with **unchanged fingerprint** (``fp_changed=False``) hits
+      the same-system fast path: its batch contains **zero** ``setup.*``
+      spans (the setup cache served the preconditioner), **zero**
+      ``recycle_update`` spans (no recycle-harvest reductions), and every
+      recycled cycle in it carries ``same_system=True``;
+    * an **adoption-boundary** step (``adopted=True``: the epoch changed
+      and the recycle space was carried over via
+      ``SetupCache.adopt_from``) must be *repaired, never trusted*: its
+      batch must run at least one ``recycle_update`` or
+      ``recycle_repair`` span, and none of its recycled cycles may claim
+      ``same_system=True``.
+    """
+    runs = root.find("sequence.run")
+    if not runs:
+        raise GateError("trace has no sequence.run span")
+    steps = root.find("sequence.step")
+    if not steps:
+        raise GateError("sequence trace has no sequence.step leaves")
+    batches = {b.attrs.get("batch"): b for b in root.find("service.batch")}
+    fast, adoptions = 0, 0
+    for leaf in steps:
+        tag = (f"step {leaf.attrs.get('step')} of tenant "
+               f"{leaf.attrs.get('tenant')!r}")
+        batch = batches.get(leaf.attrs.get("batch"))
+        if batch is None:
+            raise GateError(
+                f"sequence.step leaf ({tag}) references batch "
+                f"{leaf.attrs.get('batch')!r} with no service.batch span")
+        setups = [s for s in batch.walk() if s.name.startswith("setup.")]
+        updates = batch.find("recycle_update")
+        repairs = batch.find("recycle_repair")
+        recycled_cycles = [c for c in batch.find("cycle")
+                           if c.attrs.get("kind") == "gcrodr"]
+        if not leaf.attrs.get("fp_changed"):
+            fast += 1
+            if setups:
+                raise GateError(
+                    f"unchanged-fingerprint {tag} paid "
+                    f"{len(setups)} setup span(s) "
+                    f"({sorted({s.name for s in setups})}); the setup "
+                    f"cache must serve repeat operators")
+            if updates:
+                harvest_reds = sum(u.cost.reductions for u in updates)
+                raise GateError(
+                    f"unchanged-fingerprint {tag} ran {len(updates)} "
+                    f"recycle_update span(s) ({harvest_reds} harvest "
+                    f"reductions); the same-system fast path must not "
+                    f"update")
+            for cyc in recycled_cycles:
+                if not cyc.attrs.get("same_system"):
+                    raise GateError(
+                        f"unchanged-fingerprint {tag} ran a recycled "
+                        f"cycle with same_system="
+                        f"{cyc.attrs.get('same_system')!r}")
+        elif leaf.attrs.get("adopted"):
+            adoptions += 1
+            if not updates and not repairs:
+                raise GateError(
+                    f"adoption-boundary {tag} ran neither recycle_update "
+                    f"nor recycle_repair; adopted spaces must be "
+                    f"repaired, never trusted")
+            for cyc in recycled_cycles:
+                if cyc.attrs.get("same_system"):
+                    raise GateError(
+                        f"adoption-boundary {tag} claimed same_system="
+                        f"True against a changed operator")
+    return {"steps": len(steps), "fast_path_steps": fast,
+            "adoptions": adoptions, "batches": len(batches)}
+
+
 def check_conservation(root: Span) -> dict[str, Any]:
     """Per-span exclusive costs must sum back to the root window.
 
@@ -464,6 +544,41 @@ def run_gate(exec_modes: tuple[str, ...] = ("fused", "per_rank"),
                 check_step_reduction_bound(roots[kf])
             sh_report[label] = check_shifted_shape(roots)
         mode_report["shifted"] = sh_report
+
+        # --- transient sequences: reuse must be visible in the spans ----
+        # Two heat tenants through the sync service with an LU-cached
+        # preconditioner: unchanged-fp steps must show zero setup and
+        # zero recycle-harvest work; the epoch boundary must adopt+repair.
+        # (No conservation check here — service batches run on private
+        # ledgers, which check_conservation explicitly excludes.)
+        from ..problems.transient import HeatSequence
+        from ..service.sequence import SequenceDriver
+        from ..service.service import SolveService
+        seq_opts = Options(krylov_method="gcrodr", gmres_restart=m,
+                           recycle=k, orthogonalization="cgs2_1r",
+                           tol=1e-10, max_it=2000,
+                           recycle_same_system=False,
+                           service_flush="explicit",
+                           exec_mode=mode, trace="summary")
+        tr = Tracer(level="summary")
+        led = CostLedger()
+        with install(tr), ledger.install(led):
+            # Schwarz (not exact LU) keeps the per-step solves non-trivial
+            # so harvested recycle spaces are non-empty and adoption has
+            # something to repair; setup.schwarz spans still mark setup.
+            svc = SolveService(options=seq_opts, preconditioner="schwarz",
+                               precond_opts={"nparts": 2})
+            driver = SequenceDriver(svc)
+            for tenant in ("t0", "t1"):
+                driver.add(HeatSequence(nx=7, n_steps=6, dt0=1e-3,
+                                        epoch_length=3, growth=1.5),
+                           options=seq_opts, tenant=tenant)
+            driver.run()
+        ledger.current().merge(led)
+        mode_report["sequence"] = check_sequence_shape(tr.roots[-1])
+        if mode_report["sequence"]["adoptions"] == 0:
+            raise GateError("sequence gate scenario produced no "
+                            "adoption-boundary steps")
 
         report[mode] = mode_report
 

@@ -42,6 +42,7 @@ _TRACE_LEVELS = ("off", "summary", "full")
 _PLAN_MODES = ("interpret", "compiled")
 _RECYCLE_SPACES = ("full", "sketched")
 _SHIFTED_VARIANTS = ("projected", "unprojected")
+_SEQUENCE_MODES = ("operator", "shifted")
 
 
 @dataclass
@@ -201,6 +202,31 @@ class Options:
         dispatched) requests *per shard*; ``0`` means unbounded.  A
         submit against a full shard queue returns an explicit rejection
         (``rejected="queue_full"``) instead of queueing.
+    sequence_mode:
+        how a transient driver (:class:`repro.service.sequence.SequenceDriver`)
+        submits the steps of an operator ramp (``-hpddm_sequence_mode``):
+        ``"operator"`` (default) submits each epoch's assembled operator
+        ``A + sigma_e M`` as its own fingerprint (exercising the setup
+        cache and, with ``sequence_adopt``, recycle carry-over across
+        epoch boundaries); ``"shifted"`` submits each step as a
+        one-shift family request against the ramp's *base* operator —
+        the Δt ramp ``A + (1/Δt) M`` rides the shifted-family engine, the
+        recycle pair lives under the base fingerprint and no adoption
+        repair is ever needed.  See ``docs/TRANSIENT.md``.
+    sequence_adopt:
+        carry recycled subspaces across transient epoch boundaries
+        (``-hpddm_sequence_adopt``, default on): when the operator
+        fingerprint changes, the driver seeds the new operator's cache
+        entry from the previous one via
+        :meth:`repro.service.SetupCache.adopt_from`.  The carried pair
+        keeps its original fingerprint stamp, so the first solve against
+        the new operator runs the adoption-boundary repair instead of the
+        same-system fast path — adopted state is repaired, never trusted.
+    sequence_warm_start:
+        use step ``t``'s solution as the initial guess of step ``t+1``'s
+        solve in a transient sequence (``-hpddm_sequence_warm_start``,
+        default off so per-step iteration counts stay comparable across
+        the reuse ladder).
     initial_deflation_tol / enlarge... reserved knobs kept for CLI parity.
     """
 
@@ -230,6 +256,9 @@ class Options:
     service_deadline: float = 0.0
     service_queue_depth: int = 0
     shifted_variant: str = "unprojected"
+    sequence_mode: str = "operator"
+    sequence_adopt: bool = True
+    sequence_warm_start: bool = False
     verbosity: int = 0
     check_invariants: bool = False
     extra: dict[str, Any] = field(default_factory=dict)
@@ -315,6 +344,11 @@ class Options:
             raise OptionError(
                 f"unknown shifted_variant {self.shifted_variant!r}; "
                 f"expected one of {_SHIFTED_VARIANTS}"
+            )
+        if self.sequence_mode not in _SEQUENCE_MODES:
+            raise OptionError(
+                f"unknown sequence_mode {self.sequence_mode!r}; "
+                f"expected one of {_SEQUENCE_MODES}"
             )
         if self.gmres_restart < 1:
             raise OptionError("gmres_restart must be >= 1")
@@ -404,10 +438,17 @@ class Options:
                      str(self.service_queue_depth)]
         if self.shifted_variant != "unprojected":
             args += ["-hpddm_shifted_variant", self.shifted_variant]
+        if self.sequence_mode != "operator":
+            args += ["-hpddm_sequence_mode", self.sequence_mode]
+        if not self.sequence_adopt:
+            args += ["-hpddm_sequence_adopt", "false"]
+        if self.sequence_warm_start:
+            args.append("-hpddm_sequence_warm_start")
         return args
 
 
-_BOOL_FLAGS = {"recycle_same_system", "check_invariants", "block_reduction"}
+_BOOL_FLAGS = {"recycle_same_system", "check_invariants", "block_reduction",
+               "sequence_adopt", "sequence_warm_start"}
 _INT_FIELDS = {"gmres_restart", "recycle", "max_it", "verbosity",
                "service_pmax", "service_cache_entries", "service_shards",
                "service_queue_depth"}

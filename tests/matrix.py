@@ -59,6 +59,10 @@ class Config:
     #: number of shifts for a shifted-family solve (0 = scalar solve);
     #: family configs are unpreconditioned (the engine rejects ``m``)
     shifts: int = 0
+    #: steps of an adaptive-dt heat sequence driven through the service
+    #: (0 = not a sequence config); with ``shifts`` the sequence runs in
+    #: ``sequence_mode="shifted"`` (one-shift family per step)
+    sequence: int = 0
 
     def id(self) -> str:
         dt = "c128" if self.dtype is np.complex128 else "f64"
@@ -75,6 +79,8 @@ class Config:
             base += f"-svc_{self.service_mode}"
         if self.shifts:
             base += f"-sh{self.shifts}"
+        if self.sequence:
+            base += f"-seq{self.sequence}"
         return base
 
     def options(self, *, verify: str = "full", tol: float = 1e-8) -> Options:
@@ -149,6 +155,12 @@ def conformance_matrix(full: bool = False) -> list[Config]:
         add(Config("bgcrodr", p=1, ortho="cgs2_1r", shifts=4, precond=False))
         add(Config("bgcrodr", p=1, ortho="cgs2_1r", shifts=4, precond=False,
                    plan="compiled"))
+        # sequence axis: an adaptive-dt heat sequence through both
+        # service front ends (unchanged-fp steps must show zero setup
+        # spans — see _assert_sequence_conforms)
+        add(Config("gcrodr", p=1, service_mode="sync", sequence=6))
+        add(Config("gcrodr", p=1, service_mode="async", sequence=6,
+                   exec_mode="per_rank"))
         return configs
 
     for method, caps in SOLVERS.items():
@@ -205,6 +217,18 @@ def conformance_matrix(full: bool = False) -> list[Config]:
     add(Config("bgmres", p=1, ortho="cgs2_1r", shifts=4, precond=False,
                dtype=np.complex128))
     add(Config("bgcrodr", p=1, ortho="cholqr2", shifts=8, precond=False))
+    # sequence axis: a recycler and a non-recycler through both front
+    # ends x exec modes, plus the shifted-sequence mode (dt ramp as a
+    # one-shift family per step against the constant base)
+    for method in ("gmres", "gcrodr"):
+        for mode in EXEC_MODES:
+            for svc in ("sync", "async"):
+                add(Config(method, p=1, service_mode=svc, sequence=6,
+                           exec_mode=mode))
+    add(Config("gcrodr", p=1, service_mode="sync", sequence=6, shifts=1,
+               precond=False))
+    add(Config("gcrodr", p=1, service_mode="sync", sequence=6, shifts=1,
+               precond=False, exec_mode="per_rank"))
     return configs
 
 
@@ -280,6 +304,8 @@ def assert_conforms(cfg: Config, *, verify: str = "full",
     4. recyclers return a recycled space whose basis is orthonormal;
     5. the verify report is attached and clean.
     """
+    if cfg.sequence:
+        return _assert_sequence_conforms(cfg, tol=tol)
     if cfg.shifts:
         return _assert_family_conforms(cfg, verify=verify, tol=tol)
     if cfg.service_mode is not None:
@@ -373,6 +399,71 @@ def _assert_family_conforms(cfg: Config, *, verify: str,
         drift = np.linalg.norm(g - np.eye(g.shape[0], dtype=g.dtype))
         if drift > 1e-6 * np.sqrt(g.shape[0]):
             out.failures.append(f"recycled basis drift {drift:.2e}")
+    return out
+
+
+def _assert_sequence_conforms(cfg: Config, *, tol: float) -> Outcome:
+    """Sequence-config oracles: the transient analogue of the scalar list.
+
+    1. every step converges; 2. the final field matches per-step direct
+    sparse solves; 3. the ``sequence.*`` trace shape holds — in
+    particular the *unchanged-fp oracle*: step solves after the first of
+    an epoch (fingerprint unchanged) must show **zero setup spans** and
+    no recycle-space rebuild in their batch; 4. the driver actually took
+    the fast path on those steps.
+    """
+    import scipy.sparse.linalg as spla
+
+    from repro.problems.transient import HeatSequence
+    from repro.service.scheduler import AsyncSolveService
+    from repro.service.sequence import SequenceDriver
+    from repro.service.service import SolveService
+    from repro.trace.gate import GateError, check_sequence_shape
+    from repro.trace.tracer import Tracer, install
+
+    o = cfg.options(verify="cheap", tol=tol).replace(
+        service_flush="explicit", trace="summary",
+        sequence_mode="shifted" if cfg.shifts else "operator")
+    seq = HeatSequence(nx=8, n_steps=cfg.sequence, dt0=1e-3,
+                       epoch_length=max(1, cfg.sequence // 2), growth=1.5)
+    kwargs = {}
+    if cfg.precond and not cfg.shifts:  # families reject preconditioning
+        kwargs = {"preconditioner": "schwarz", "precond_opts": {"nparts": 2}}
+    cls = AsyncSolveService if cfg.service_mode == "async" else SolveService
+    svc = cls(options=o, **kwargs)
+    driver = SequenceDriver(svc)
+    handle = driver.add(seq, options=o, tenant="t0")
+    tr = Tracer(level="summary")
+    with install(tr):
+        records = driver.run(strict=False)
+    out = Outcome(cfg, records)
+
+    if not handle.all_converged:
+        out.failures.append("not every sequence step converged")
+    try:
+        shape = check_sequence_shape(tr.roots[-1])
+    except GateError as exc:
+        out.failures.append(f"sequence trace shape: {exc}")
+    else:
+        if shape["steps"] != cfg.sequence:
+            out.failures.append(f"trace saw {shape['steps']} steps, "
+                                f"expected {cfg.sequence}")
+        # unchanged-fp steps exist (epoch_length > 1) and took the fast
+        # path with zero setup spans (checked inside the shape gate)
+        unchanged = sum(1 for r in records if not r["fp_changed"])
+        if shape["fast_path_steps"] != unchanged:
+            out.failures.append(
+                f"{unchanged} unchanged-fp steps but "
+                f"{shape['fast_path_steps']} passed the zero-setup oracle")
+        if unchanged == 0:
+            out.failures.append("sequence produced no unchanged-fp steps")
+    # final-field oracle: per-step direct sparse solves
+    u = seq.u0()
+    for step in seq.steps():
+        u = spla.spsolve(seq.operator(step).tocsc(), seq.rhs(step, u))
+    err = np.linalg.norm(handle.u - u) / max(np.linalg.norm(u), 1.0)
+    if err > 1e-6:
+        out.failures.append(f"final field off by {err:.2e} vs direct solves")
     return out
 
 
